@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extension study (paper Section 6): nested speculation (+N).
+ *
+ * The paper: "The fact that we do not support nested speculation —
+ * which already showed evidence of hurting CPI in Figure 5 — would
+ * have likely hurt even more in deeper pipelines ... we would like to
+ * examine the effect of this addition on decreasing the number of
+ * forbidden instructions in deep pipelines." This bench performs that
+ * examination on our reproduction: forbidden-cycle and CPI deltas of
+ * +P+N+Q over +P+Q per workload and pipeline depth.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/runner.hh"
+
+int
+main()
+{
+    using namespace tia;
+    bench::banner("Extension — nested speculation (+N), Section 6 "
+                  "future work",
+                  "expected: forbidden-instruction cycles shrink in "
+                  "deep pipelines; CPI improves");
+
+    const WorkloadSizes sizes = bench::benchSizes();
+    const auto suite = allWorkloads(sizes);
+
+    for (const auto &shape : allShapes()) {
+        if (shape.depth() < 3)
+            continue; // nesting only matters with long windows
+        const PeConfig base{shape, true, true, false};
+        const PeConfig nested{shape, true, true, true};
+
+        CpiStack base_avg, nested_avg;
+        for (const Workload &w : suite) {
+            const WorkloadRun b = runCycle(w, base);
+            const WorkloadRun n = runCycle(w, nested);
+            if (!b.ok() || !n.ok()) {
+                std::printf("%s failed on %s\n", w.name.c_str(),
+                            shape.name().c_str());
+                return 1;
+            }
+            base_avg += cpiStack(b.worker);
+            nested_avg += cpiStack(n.worker);
+        }
+        base_avg /= static_cast<double>(suite.size());
+        nested_avg /= static_cast<double>(suite.size());
+
+        std::printf("\n%s (depth %u):\n", shape.name().c_str(),
+                    shape.depth());
+        std::printf("  %-8s CPI %-7.3f forbidden %-7.3f quashed %-7.3f\n",
+                    "+P+Q", base_avg.total(), base_avg.forbidden,
+                    base_avg.quashed);
+        std::printf("  %-8s CPI %-7.3f forbidden %-7.3f quashed %-7.3f\n",
+                    "+P+N+Q", nested_avg.total(), nested_avg.forbidden,
+                    nested_avg.quashed);
+        std::printf("  forbidden reduced %.0f%%, CPI improved %.1f%%\n",
+                    base_avg.forbidden > 0.0
+                        ? (1.0 - nested_avg.forbidden /
+                                     base_avg.forbidden) * 100.0
+                        : 0.0,
+                    (1.0 - nested_avg.total() / base_avg.total()) * 100.0);
+    }
+
+    std::printf("\nPer-workload forbidden CPI on T|D|X1|X2:\n");
+    std::printf("  %-14s %-10s %-10s\n", "workload", "+P+Q", "+P+N+Q");
+    const PipelineShape deepest{true, true, true};
+    for (const Workload &w : suite) {
+        const WorkloadRun b = runCycle(w, {deepest, true, true, false});
+        const WorkloadRun n = runCycle(w, {deepest, true, true, true});
+        std::printf("  %-14s %-10.3f %-10.3f\n", w.name.c_str(),
+                    cpiStack(b.worker).forbidden,
+                    cpiStack(n.worker).forbidden);
+    }
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3: area and power breakdown of the single-cycle PE
+ * (64,435 um^2 and 1.95 mW; back end dominates area, power split
+ * roughly evenly between front and back end).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "vlsi/area_power.hh"
+#include "vlsi/timing.hh"
+
+int
+main()
+{
+    using namespace tia;
+    bench::banner("Figure 3 — single-cycle PE area/power breakdown",
+                  "64,435 um^2, 1.95 mW; Ins.Mem 25%/41%, queues "
+                  "18%/22%, scheduler 6%/5%, front 32%/48%, back "
+                  "46%/23%");
+
+    const AreaPowerModel model;
+    const PeConfig tdx{PipelineShape{false, false, false}, false, false};
+    const double area = model.areaUm2(tdx);
+    const double power = model.calibrationPowerMw(tdx);
+
+    std::printf("Single-cycle PE: %.1f um^2, %.3f mW "
+                "(1.0 V, std-VT, 500 MHz, bst activity)\n\n",
+                area, power);
+
+    std::printf("%-12s %-10s %-10s %-14s %-12s\n", "Component", "Area %",
+                "Power %", "Area (um^2)", "Power (mW)");
+    double front_area = 0.0, front_power = 0.0;
+    double back_area = 0.0, back_power = 0.0;
+    for (const ComponentShare &c : singleCycleBreakdown()) {
+        std::printf("%-12s %-10.0f %-10.0f %-14.1f %-12.4f\n",
+                    c.name.c_str(), c.areaFraction * 100.0,
+                    c.powerFraction * 100.0, c.areaFraction * area,
+                    c.powerFraction * power);
+        if (c.name == "Ins. Mem." || c.name == "Scheduler" ||
+            c.name == "Pred. Unit") {
+            front_area += c.areaFraction;
+            front_power += c.powerFraction;
+        } else if (c.name == "ALU" || c.name == "RegFile") {
+            back_area += c.areaFraction;
+            back_power += c.powerFraction;
+        }
+    }
+    std::printf("\nFront end (Pred+InsMem+Sched): %.0f%% area, %.0f%% power"
+                " (paper: 32%% / 48%%)\n",
+                front_area * 100.0, front_power * 100.0);
+    std::printf("Back end (RegFile+ALU):        %.0f%% area, %.0f%% power"
+                " (paper: 46%% / 23%%)\n",
+                back_area * 100.0, back_power * 100.0);
+    return 0;
+}

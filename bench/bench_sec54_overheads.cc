@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Section 5.4 "Area and Power Overheads" + "Timing Overhead": costs of
+ * the speculative predicate unit, the effective-queue-status adders,
+ * the padded-output-queue alternative, and pipeline registers, on the
+ * deepest (T|D|X1|X2) pipeline at 1.0 V std-VT and a 500 MHz target.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "vlsi/area_power.hh"
+#include "vlsi/timing.hh"
+
+int
+main()
+{
+    using namespace tia;
+    bench::banner("Section 5.4 — optimization overheads on T|D|X1|X2",
+                  "+P: +0.5% area/+7% power; +Q: ~+0.2% area/no power; "
+                  "both: +1.4%/+8%; padding: +13%/+12%; +0.301 mW per "
+                  "pipe register; trigger 53.6 -> 64.3 FO4 with +P");
+
+    const AreaPowerModel model;
+    const PipelineShape deepest{true, true, true};
+    const double vdd = 1.0;
+    const VtClass vt = VtClass::Standard;
+    const double f = 500.0;
+
+    struct Variant
+    {
+        const char *label;
+        PeConfig config;
+        ImplementationOptions opts;
+    };
+    const Variant variants[] = {
+        {"baseline", {deepest, false, false}, {}},
+        {"+P (speculative predicates)", {deepest, true, false}, {}},
+        {"+Q (effective queue status)", {deepest, false, true}, {}},
+        {"+P+Q (both)", {deepest, true, true}, {}},
+        {"padded output queues", {deepest, false, false}, {true}},
+    };
+
+    const double base_area = model.areaUm2(variants[0].config);
+    const double base_power =
+        model.calibrationPowerMw(variants[0].config);
+
+    std::printf("%-30s %-12s %-8s %-10s %-8s\n", "Variant", "Area um^2",
+                "dArea", "Power mW", "dPower");
+    for (const Variant &v : variants) {
+        const double area = model.areaUm2(v.config, v.opts);
+        const double power = model.calibrationPowerMw(v.config, v.opts);
+        std::printf("%-30s %-12.1f %+-8.1f%% %-10.3f %+-8.1f%%\n",
+                    v.label, area, (area / base_area - 1.0) * 100.0,
+                    power, (power / base_power - 1.0) * 100.0);
+    }
+
+    // Pipeline-register power: iso-frequency, iso-VDD cost per added
+    // register stage (paper: +0.301 mW each at 500 MHz).
+    std::printf("\nPower by pipeline depth at 1.0 V std-VT, 500 MHz "
+                "(register cost %.3f mW/stage; paper 0.301):\n",
+                AreaPowerModel::kRegisterEnergyPj * f * 1e-3);
+    for (const auto &shape : allShapes()) {
+        const PeConfig config{shape, false, false};
+        std::printf("  %-12s depth %u: %.3f mW\n", shape.name().c_str(),
+                    shape.depth(),
+                    model.calibrationPowerMw(config));
+    }
+
+    // Timing overhead of speculation.
+    const PeConfig base{deepest, false, false};
+    const PeConfig spec{deepest, true, false};
+    std::printf("\nTiming: T|D|X1|X2 critical path %.1f FO4 "
+                "(closes at %.0f MHz at nominal; paper 1184 MHz); "
+                "with speculation %.1f FO4 (%.0f MHz). +Q has no "
+                "timing impact.\n",
+                criticalPathFo4(base), maxFrequencyMhz(base, vdd, vt),
+                criticalPathFo4(spec), maxFrequencyMhz(spec, vdd, vt));
+    return 0;
+}

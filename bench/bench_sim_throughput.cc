@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulator microbenchmarks (google-benchmark): cycle throughput of
+ * the pipelined PE model, functional-simulator step rate, assembler
+ * and encoder throughput. Not a paper figure — this characterizes the
+ * reproduction infrastructure itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/assembler.hh"
+#include "core/encoding.hh"
+#include "uarch/cycle_fabric.hh"
+#include "workloads/runner.hh"
+
+namespace {
+
+using namespace tia;
+
+void
+BM_CyclePeAluLoop(benchmark::State &state)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXX0: add %r0, %r0, #1; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1: add %r1, %r1, #1; set %p = ZZZZZZZ0;\n");
+    FabricBuilder builder(program.params, 1);
+    const PipelineShape shape{
+        state.range(0) != 0, state.range(0) != 0, state.range(0) != 0};
+    CycleFabric fabric(builder.build(), program, {shape, true, true});
+    for (auto _ : state)
+        fabric.step();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(shape.name());
+}
+BENCHMARK(BM_CyclePeAluLoop)->Arg(0)->Arg(1);
+
+void
+BM_CycleFabricDotProduct(benchmark::State &state)
+{
+    const Workload w = makeDotProduct(WorkloadSizes::small());
+    for (auto _ : state) {
+        const WorkloadRun run =
+            runCycle(w, {PipelineShape{true, false, false}, true, true});
+        benchmark::DoNotOptimize(run.worker.cycles);
+        state.SetIterationTime(0.0); // wall-clock measured by default
+        state.counters["cycles"] = static_cast<double>(run.totalCycles);
+    }
+}
+BENCHMARK(BM_CycleFabricDotProduct)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalBst(benchmark::State &state)
+{
+    const Workload w = makeBst(WorkloadSizes::small());
+    for (auto _ : state) {
+        const WorkloadRun run = runFunctional(w);
+        benchmark::DoNotOptimize(run.worker.retired);
+    }
+}
+BENCHMARK(BM_FunctionalBst)->Unit(benchmark::kMillisecond);
+
+void
+BM_Assemble(benchmark::State &state)
+{
+    const std::string source =
+        "when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; "
+        "set %p = ZZZZ0001;\n"
+        "when %p == XXXX0001: add %o0.2, %r1, #7; deq %i0; "
+        "set %p = ZZZZ0010;\n"
+        "when %p == XXXX0010: halt;\n";
+    for (auto _ : state) {
+        const Program program = assemble(source);
+        benchmark::DoNotOptimize(program.staticInstructions());
+    }
+}
+BENCHMARK(BM_Assemble);
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    const ArchParams params;
+    const Program program = assemble(
+        "when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; "
+        "set %p = ZZZZ0001;\n");
+    const Instruction &inst = program.pes[0][0];
+    for (auto _ : state) {
+        const MachineCode code = encode(params, inst);
+        const Instruction decoded = decode(params, code);
+        benchmark::DoNotOptimize(decoded.imm);
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+} // namespace
+
+BENCHMARK_MAIN();

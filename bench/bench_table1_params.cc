@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 1: architectural and microarchitectural parameters.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/params.hh"
+
+int
+main()
+{
+    using namespace tia;
+    bench::banner("Table 1 — architectural parameters",
+                  "fixed parameter assignment used throughout the study");
+
+    const ArchParams p;
+    p.validate();
+    std::printf("%-12s %-38s %s\n", "Parameter", "Description", "Value");
+    std::printf("%-12s %-38s %u\n", "NRegs", "Number of registers",
+                p.numRegs);
+    std::printf("%-12s %-38s %u\n", "NIQueues", "Number of input queues",
+                p.numInputQueues);
+    std::printf("%-12s %-38s %u\n", "NOQueues", "Number of output queues",
+                p.numOutputQueues);
+    std::printf("%-12s %-38s %u\n", "MaxCheck",
+                "Max queues checked per trigger", p.maxCheck);
+    std::printf("%-12s %-38s %u\n", "MaxDeq", "Max dequeues allowed / ins",
+                p.maxDeq);
+    std::printf("%-12s %-38s %u\n", "NPreds", "Number of predicates",
+                p.numPreds);
+    std::printf("%-12s %-38s %u\n", "Word", "Word width", p.wordWidth);
+    std::printf("%-12s %-38s %u\n", "TagWidth", "Queue tag width",
+                p.tagWidth);
+    std::printf("%-12s %-38s %u\n", "NIns", "Instructions per PE",
+                p.numInstructions);
+    std::printf("%-12s %-38s %u\n", "NOps", "Number of operations",
+                p.numOps);
+    std::printf("%-12s %-38s %u\n", "NSrcs", "Source operands / ins",
+                p.numSrcs);
+    std::printf("%-12s %-38s %u\n", "NDsts", "Destinations / ins",
+                p.numDsts);
+    std::printf("\nParameter-file round trip:\n%s", p.toString().c_str());
+    return 0;
+}

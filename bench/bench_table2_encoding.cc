@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 2: instruction fields and widths of the binary encoding.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/params.hh"
+
+int
+main()
+{
+    using namespace tia;
+    bench::banner("Table 2 — instruction field widths",
+                  "106-bit encoding, padded to 128 bits for host I/O");
+
+    const ArchParams p;
+    const FieldWidths w = fieldWidths(p);
+
+    struct Row
+    {
+        const char *field;
+        const char *description;
+        unsigned width;
+    };
+    const Row rows[] = {
+        {"Val", "Valid bit", w.val},
+        {"PredMask", "Required on-set and off-set of predicates",
+         w.predMask},
+        {"QueueIndices", "Input queues to check", w.queueIndices},
+        {"NotTags", "Queues checked for absence of given tag", w.notTags},
+        {"TagVals", "Tags sought on input queues", w.tagVals},
+        {"Op", "Opcode", w.op},
+        {"SrcTypes", "Source types", w.srcTypes},
+        {"SrcIDs", "Source indices", w.srcIds},
+        {"DstTypes", "Destination types", w.dstTypes},
+        {"DstIDs", "Destination indices", w.dstIds},
+        {"OutTag", "Tag with which to enqueue the result", w.outTag},
+        {"IQueueDeq", "Input queues to dequeue", w.iQueueDeq},
+        {"PredUpdate", "Masks of predicates to force high/low",
+         w.predUpdate},
+        {"Imm", "Immediate value", w.imm},
+    };
+
+    std::printf("%-14s %-44s %s\n", "Field", "Description", "Width");
+    unsigned total = 0;
+    for (const Row &row : rows) {
+        std::printf("%-14s %-44s %u\n", row.field, row.description,
+                    row.width);
+        total += row.width;
+    }
+    std::printf("%-14s %-44s %u (paper: 106)\n", "Total", "", total);
+    std::printf("%-14s %-44s %u (paper: 128)\n", "Padded", "", w.padded());
+    return 0;
+}

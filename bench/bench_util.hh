@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure regeneration binaries.
+ *
+ * Each bench prints the rows/series of one paper table or figure.
+ * Absolute values come from our simulator + analytical VLSI model; the
+ * point of comparison with the paper is the *shape* (who wins, by what
+ * factor, where crossovers fall) — see EXPERIMENTS.md.
+ */
+
+#ifndef TIA_BENCH_BENCH_UTIL_HH
+#define TIA_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace tia::bench {
+
+/**
+ * Workload sizes for bench runs: paper-scale by default; set
+ * TIA_BENCH_SMALL=1 for a quick smoke pass.
+ */
+inline WorkloadSizes
+benchSizes()
+{
+    const char *small = std::getenv("TIA_BENCH_SMALL");
+    if (small != nullptr && std::string(small) == "1")
+        return WorkloadSizes::small();
+    return WorkloadSizes::full();
+}
+
+/** Print a banner naming the reproduced table/figure. */
+inline void
+banner(const char *what, const char *paper_summary)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s\n", what);
+    std::printf("Paper reference: %s\n", paper_summary);
+    std::printf("==============================================================================\n");
+}
+
+} // namespace tia::bench
+
+#endif // TIA_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,22 @@
+// fib.s — iterative Fibonacci on a single triggered PE.
+//
+// Computes fib(N) (with fib(0)=0, fib(1)=1) into r0 and stores it to
+// memory word 0 through the conventional write port (%o1 = address,
+// %o2 = data). For N = 20 the stored value is 6765.
+//
+//   tia-sim fib.s --dump 0
+//   tia-sim fib.s -u "T|DX +P+Q" --dump 0
+
+.def N 20
+
+// p2..p0 sequence the loop body; p3 is the loop condition; p4 ends.
+when %p == XXXXX000: mov %r1, #1;          set %p = ZZZZZ001;
+when %p == XXXXX001: add %r3, %r0, %r1;    set %p = ZZZZZ010;
+when %p == XXXXX010: mov %r0, %r1;         set %p = ZZZZZ011;
+when %p == XXXXX011: mov %r1, %r3;         set %p = ZZZZZ100;
+when %p == XXXXX100: add %r2, %r2, #1;     set %p = ZZZZZ101;
+when %p == XXXXX101: ult %p3, %r2, N;      set %p = ZZZZZ110;
+when %p == XXXX1110: nop;                  set %p = ZZZZZ001;
+when %p == XXXX0110: mov %o1.0, #0;        set %p = ZZZZZ111;
+when %p == XXX0X111: mov %o2.0, %r0;       set %p = ZZZ1ZZZZ;
+when %p == XXX1X111: halt;

@@ -1,0 +1,25 @@
+// relay.s — two PEs handing tokens down a chain.
+//
+// PE 0 emits the integers 1..8 on its output 3; PE 1 doubles each and
+// stores it to memory words 100..107 through its write port, halting
+// on the end-of-stream tag.
+//
+//   tia-sim relay.s --pes 2 --connect 0.3:1.0 --write-port 1.1.2 \
+//           --dump 100:8
+
+.pe 0
+// p1 p0 sequence the loop; p2 is the continue condition; p4 = done.
+when %p == XXX1XXXX: halt;
+when %p == XXX0XX00: add %r0, %r0, #1;     set %p = ZZZZZZ01;
+when %p == XXX0XX01: mov %o3.0, %r0;       set %p = ZZZZZZ10;
+when %p == XXX0XX10: ult %p2, %r0, #8;     set %p = ZZZZZZ11;
+when %p == XXX0X111: nop;                  set %p = ZZZZZZ00;
+when %p == XXX0X011: mov %o3.1, #0;        set %p = ZZZ1ZZZZ;
+
+.pe 1
+// p2 p1 p0 sequence the store; the end-of-stream tag halts.
+when %p == XXXXX000 with %i0.0: sll %r1, %i0, #1; deq %i0; set %p = ZZZZZ001;
+when %p == XXXXX001: add %o1.0, %r0, #100; set %p = ZZZZZ011;
+when %p == XXXXX011: mov %o2.0, %r1;       set %p = ZZZZZ111;
+when %p == XXXXX111: add %r0, %r0, #1;     set %p = ZZZZZ000;
+when %p == XXXXX000 with %i0.1: halt;

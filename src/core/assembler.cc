@@ -1,0 +1,498 @@
+#include "core/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/logging.hh"
+#include "core/opcode.hh"
+
+namespace tia {
+
+namespace {
+
+enum class TokenKind
+{
+    Word,    ///< Identifier, mnemonic, number or pattern.
+    Operand, ///< %rN, %iN, %oN, %pN or bare %p.
+    Punct,   ///< Single punctuation character.
+    CharLit, ///< 'c'.
+    End,
+};
+
+struct Token
+{
+    TokenKind kind;
+    std::string text;  ///< Word text.
+    char punct = 0;    ///< Punct character.
+    char opKind = 0;   ///< Operand kind: 'r', 'i', 'o' or 'p'.
+    int opIndex = -1;  ///< Operand index; -1 for bare %p.
+    char charLit = 0;  ///< CharLit value.
+    unsigned line = 0;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source) : src_(source) {}
+
+    std::vector<Token>
+    tokenize()
+    {
+        std::vector<Token> tokens;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_];
+            if (c == '\n') {
+                ++line_;
+                ++pos_;
+            } else if (std::isspace(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < src_.size() &&
+                       src_[pos_ + 1] == '/') {
+                while (pos_ < src_.size() && src_[pos_] != '\n')
+                    ++pos_;
+            } else if (c == '%') {
+                tokens.push_back(lexOperand());
+            } else if (c == '\'') {
+                tokens.push_back(lexCharLit());
+            } else if (std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_') {
+                tokens.push_back(lexWord());
+            } else {
+                Token t;
+                t.kind = TokenKind::Punct;
+                t.punct = c;
+                t.line = line_;
+                tokens.push_back(t);
+                ++pos_;
+            }
+        }
+        Token end;
+        end.kind = TokenKind::End;
+        end.line = line_;
+        tokens.push_back(end);
+        return tokens;
+    }
+
+  private:
+    Token
+    lexOperand()
+    {
+        Token t;
+        t.kind = TokenKind::Operand;
+        t.line = line_;
+        ++pos_; // consume '%'
+        fatalIf(pos_ >= src_.size(), "line ", line_,
+                ": dangling '%' at end of input");
+        const char kind = src_[pos_];
+        fatalIf(kind != 'r' && kind != 'i' && kind != 'o' && kind != 'p',
+                "line ", line_, ": unknown operand class '%", kind,
+                "' (expected %r, %i, %o or %p)");
+        t.opKind = kind;
+        ++pos_;
+        std::string digits;
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+            digits += src_[pos_++];
+        }
+        t.opIndex = digits.empty() ? -1 : std::stoi(digits);
+        fatalIf(digits.empty() && kind != 'p', "line ", line_,
+                ": operand %", kind, " requires an index");
+        return t;
+    }
+
+    Token
+    lexCharLit()
+    {
+        Token t;
+        t.kind = TokenKind::CharLit;
+        t.line = line_;
+        fatalIf(pos_ + 2 >= src_.size() || src_[pos_ + 2] != '\'', "line ",
+                line_, ": malformed character literal");
+        t.charLit = src_[pos_ + 1];
+        pos_ += 3;
+        return t;
+    }
+
+    Token
+    lexWord()
+    {
+        Token t;
+        t.kind = TokenKind::Word;
+        t.line = line_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+            t.text += src_[pos_++];
+        }
+        return t;
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    unsigned line_ = 1;
+};
+
+class Parser
+{
+  public:
+    Parser(std::vector<Token> tokens, const ArchParams &params)
+        : tokens_(std::move(tokens)), params_(params)
+    {
+    }
+
+    Program
+    parse()
+    {
+        Program program;
+        program.params = params_;
+        program.pes.resize(1);
+        unsigned current_pe = 0;
+
+        while (peek().kind != TokenKind::End) {
+            if (isPunct('.')) {
+                advance();
+                const Token &word = expect(TokenKind::Word, "directive name");
+                if (word.text == "pe") {
+                    current_pe = parseNumberWord("PE index");
+                    if (current_pe >= program.pes.size())
+                        program.pes.resize(current_pe + 1);
+                } else if (word.text == "def") {
+                    const Token &name =
+                        expect(TokenKind::Word, "constant name");
+                    fatalIf(std::isdigit(static_cast<unsigned char>(
+                                name.text[0])),
+                            "line ", name.line,
+                            ": .def name must not start with a digit");
+                    const std::string def_name = name.text;
+                    defs_[def_name] = parseImmediate();
+                } else {
+                    fatal("line ", word.line, ": unknown directive .",
+                          word.text);
+                }
+            } else {
+                Instruction inst = parseInstruction();
+                program.pes[current_pe].push_back(inst);
+            }
+        }
+        program.validate();
+        return program;
+    }
+
+  private:
+    const Token &peek(unsigned ahead = 0) const
+    {
+        const std::size_t index =
+            std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[index];
+    }
+
+    const Token &advance() { return tokens_[pos_++]; }
+
+    bool
+    isPunct(char c) const
+    {
+        return peek().kind == TokenKind::Punct && peek().punct == c;
+    }
+
+    bool
+    isWord(const char *text) const
+    {
+        return peek().kind == TokenKind::Word && peek().text == text;
+    }
+
+    const Token &
+    expect(TokenKind kind, const char *what)
+    {
+        const Token &t = advance();
+        fatalIf(t.kind != kind, "line ", t.line, ": expected ", what);
+        return t;
+    }
+
+    void
+    expectPunct(char c)
+    {
+        const Token &t = advance();
+        fatalIf(t.kind != TokenKind::Punct || t.punct != c, "line ", t.line,
+                ": expected '", std::string(1, c), "'");
+    }
+
+    unsigned
+    parseNumberWord(const char *what)
+    {
+        const Token &t = expect(TokenKind::Word, what);
+        for (char c : t.text) {
+            fatalIf(!std::isdigit(static_cast<unsigned char>(c)), "line ",
+                    t.line, ": ", what, " must be a number, got \"", t.text,
+                    "\"");
+        }
+        return static_cast<unsigned>(std::stoul(t.text));
+    }
+
+    /** Parse a pattern word into (on, off) masks. */
+    std::pair<std::uint64_t, std::uint64_t>
+    parsePattern()
+    {
+        const Token &t = expect(TokenKind::Word, "predicate pattern");
+        fatalIf(t.text.size() != params_.numPreds, "line ", t.line,
+                ": predicate pattern must have exactly ", params_.numPreds,
+                " characters, got \"", t.text, "\"");
+        std::uint64_t on = 0;
+        std::uint64_t off = 0;
+        for (unsigned j = 0; j < t.text.size(); ++j) {
+            const unsigned bit = params_.numPreds - 1 - j;
+            switch (t.text[j]) {
+              case '1':
+                on |= std::uint64_t{1} << bit;
+                break;
+              case '0':
+                off |= std::uint64_t{1} << bit;
+                break;
+              case 'X':
+              case 'x':
+              case 'Z':
+              case 'z':
+                break;
+              default:
+                fatal("line ", t.line, ": bad pattern character '",
+                      std::string(1, t.text[j]),
+                      "' (expected 0, 1, X or Z)");
+            }
+        }
+        return {on, off};
+    }
+
+    Word
+    parseImmediate()
+    {
+        if (isPunct('#'))
+            advance();
+        bool negate = false;
+        if (isPunct('-')) {
+            advance();
+            negate = true;
+        }
+        const Token &t = advance();
+        if (t.kind == TokenKind::CharLit) {
+            fatalIf(negate, "line ", t.line,
+                    ": cannot negate a character literal");
+            return static_cast<Word>(t.charLit);
+        }
+        fatalIf(t.kind != TokenKind::Word, "line ", t.line,
+                ": expected an immediate value");
+        if (!std::isdigit(static_cast<unsigned char>(t.text[0]))) {
+            auto it = defs_.find(t.text);
+            fatalIf(it == defs_.end(), "line ", t.line,
+                    ": unknown constant \"", t.text, "\"");
+            const Word value = it->second;
+            return negate ? static_cast<Word>(-static_cast<SWord>(value))
+                          : value;
+        }
+        unsigned long long value = 0;
+        try {
+            if (t.text.size() > 2 && t.text[0] == '0' &&
+                (t.text[1] == 'x' || t.text[1] == 'X')) {
+                value = std::stoull(t.text.substr(2), nullptr, 16);
+            } else {
+                value = std::stoull(t.text, nullptr, 10);
+            }
+        } catch (const std::exception &) {
+            fatal("line ", t.line, ": bad numeric literal \"", t.text, "\"");
+        }
+        fatalIf(value > 0xffffffffull, "line ", t.line, ": immediate ",
+                t.text, " does not fit in a 32-bit word");
+        const Word word = static_cast<Word>(value);
+        return negate ? static_cast<Word>(-static_cast<SWord>(word)) : word;
+    }
+
+    Tag
+    parseTag()
+    {
+        const unsigned tag = parseNumberWord("queue tag");
+        fatalIf(tag > params_.maxTag(), "tag ", tag,
+                " exceeds the maximum tag ", unsigned{params_.maxTag()});
+        return static_cast<Tag>(tag);
+    }
+
+    Instruction
+    parseInstruction()
+    {
+        Instruction inst;
+        const Token &when = expect(TokenKind::Word, "\"when\"");
+        fatalIf(when.text != "when", "line ", when.line,
+                ": expected \"when\" at start of instruction, got \"",
+                when.text, "\"");
+        inst.line = when.line;
+        inst.trigger.valid = true;
+
+        const Token &pred = expect(TokenKind::Operand, "%p");
+        fatalIf(pred.opKind != 'p' || pred.opIndex != -1, "line ", pred.line,
+                ": expected bare %p in trigger");
+        expectPunct('=');
+        expectPunct('=');
+        std::tie(inst.trigger.predOn, inst.trigger.predOff) = parsePattern();
+
+        if (isWord("with")) {
+            advance();
+            while (true) {
+                const Token &queue = expect(TokenKind::Operand,
+                                            "input queue check (%iN.tag)");
+                fatalIf(queue.opKind != 'i', "line ", queue.line,
+                        ": trigger checks must name input queues (%i)");
+                expectPunct('.');
+                QueueCheck check;
+                check.queue = static_cast<std::uint8_t>(queue.opIndex);
+                if (isPunct('!')) {
+                    advance();
+                    check.negate = true;
+                }
+                check.tag = parseTag();
+                inst.trigger.queueChecks.push_back(check);
+                if (!isPunct(','))
+                    break;
+                advance();
+            }
+        }
+        expectPunct(':');
+
+        parseDatapath(inst);
+        return inst;
+    }
+
+    void
+    parseDatapath(Instruction &inst)
+    {
+        const Token &mnemonic = expect(TokenKind::Word, "operation mnemonic");
+        const auto op = opFromMnemonic(mnemonic.text);
+        fatalIf(!op.has_value(), "line ", mnemonic.line,
+                ": unknown operation \"", mnemonic.text, "\"");
+        inst.op = *op;
+        const OpInfo &info = opInfo(inst.op);
+
+        std::vector<Token> operand_positions;
+        bool have_imm = false;
+
+        // Operand list: destination first when the op produces a result.
+        unsigned parsed = 0;
+        const unsigned expected =
+            info.numSrcs + (info.hasResult ? 1u : 0u);
+        while (parsed < expected) {
+            if (parsed > 0)
+                expectPunct(',');
+            const bool is_dst = info.hasResult && parsed == 0;
+            parseOperand(inst, is_dst, parsed, have_imm);
+            ++parsed;
+        }
+
+        // Optional clauses.
+        while (isPunct(';')) {
+            advance();
+            if (isWord("deq")) {
+                advance();
+                while (true) {
+                    const Token &queue =
+                        expect(TokenKind::Operand, "input queue (%iN)");
+                    fatalIf(queue.opKind != 'i', "line ", queue.line,
+                            ": deq takes input queues (%i)");
+                    inst.dequeues.push_back(
+                        static_cast<std::uint8_t>(queue.opIndex));
+                    if (!isPunct(','))
+                        break;
+                    advance();
+                }
+            } else if (isWord("set")) {
+                advance();
+                const Token &pred = expect(TokenKind::Operand, "%p");
+                fatalIf(pred.opKind != 'p' || pred.opIndex != -1, "line ",
+                        pred.line, ": expected bare %p in set clause");
+                expectPunct('=');
+                std::tie(inst.predSet, inst.predClear) = parsePattern();
+            }
+            // Anything else: an empty clause (stray ';') or the end of
+            // the instruction; the loop condition decides.
+        }
+    }
+
+    void
+    parseOperand(Instruction &inst, bool is_dst, unsigned position,
+                 bool &have_imm)
+    {
+        const unsigned src_slot =
+            opInfo(inst.op).hasResult ? position - 1 : position;
+        if (peek().kind == TokenKind::Operand) {
+            const Token &t = advance();
+            if (is_dst) {
+                switch (t.opKind) {
+                  case 'r':
+                    inst.dst = {DstType::Reg,
+                                static_cast<std::uint8_t>(t.opIndex)};
+                    break;
+                  case 'o': {
+                    inst.dst = {DstType::OutputQueue,
+                                static_cast<std::uint8_t>(t.opIndex)};
+                    expectPunct('.');
+                    inst.outTag = parseTag();
+                    break;
+                  }
+                  case 'p':
+                    fatalIf(t.opIndex < 0, "line ", t.line,
+                            ": destination predicate needs an index (%pN)");
+                    inst.dst = {DstType::Predicate,
+                                static_cast<std::uint8_t>(t.opIndex)};
+                    break;
+                  default:
+                    fatal("line ", t.line,
+                          ": destination must be %r, %o or %p");
+                }
+            } else {
+                switch (t.opKind) {
+                  case 'r':
+                    inst.srcs[src_slot] = {
+                        SrcType::Reg, static_cast<std::uint8_t>(t.opIndex)};
+                    break;
+                  case 'i':
+                    inst.srcs[src_slot] = {
+                        SrcType::InputQueue,
+                        static_cast<std::uint8_t>(t.opIndex)};
+                    break;
+                  default:
+                    fatal("line ", t.line,
+                          ": source must be %r, %i or an immediate");
+                }
+            }
+        } else {
+            fatalIf(is_dst, "line ", peek().line,
+                    ": destination cannot be an immediate");
+            fatalIf(have_imm, "line ", peek().line,
+                    ": at most one immediate source per instruction");
+            inst.imm = parseImmediate();
+            inst.srcs[src_slot] = {SrcType::Immediate, 0};
+            have_imm = true;
+        }
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    const ArchParams &params_;
+    std::map<std::string, Word> defs_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, const ArchParams &params)
+{
+    params.validate();
+    Lexer lexer(source);
+    Parser parser(lexer.tokenize(), params);
+    return parser.parse();
+}
+
+Program
+assemble(const std::string &source)
+{
+    return assemble(source, ArchParams{});
+}
+
+} // namespace tia

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Assembler for the triggered-instruction assembly language.
+ *
+ * The surface syntax follows the paper's Section 2.2 example:
+ *
+ *     when %p == XXXX0000 with %i0.0, %i3.0:
+ *         ult %p7, %i3, %i0; deq %i0, %i3; set %p = ZZZZ0001;
+ *
+ * Grammar summary:
+ *
+ *     program     := (".pe" NUM | ".def" NAME VALUE | instruction)*
+ *     instruction := "when" "%p" "==" PATTERN [ "with" check+, ] ":"
+ *                    op [operand,+] (";" clause)* ";"?
+ *     check       := "%i" N "." ["!"] TAG
+ *     clause      := "deq" "%i"N+,  |  "set" "%p" "=" PATTERN
+ *     operand     := %rN | %iN | %oN "." TAG | %pN | immediate
+ *     immediate   := ["#"] ["-"] (decimal | 0x hex) | 'c' | NAME (.def)
+ *
+ * Patterns are NPreds characters, most-significant predicate first;
+ * '0'/'1' are required values, 'X'/'Z' (either case) are don't-cares in
+ * triggers and keep-current in `set` clauses. Line comments start with
+ * "//". The first operand of a result-producing operation is its
+ * destination; remaining operands are sources.
+ */
+
+#ifndef TIA_CORE_ASSEMBLER_HH
+#define TIA_CORE_ASSEMBLER_HH
+
+#include <string>
+
+#include "core/params.hh"
+#include "core/program.hh"
+
+namespace tia {
+
+/**
+ * Assemble source text into a Program.
+ *
+ * @param source assembly text (possibly multi-PE via ".pe N").
+ * @param params parameter assignment (validated first).
+ * @return the assembled, validated program.
+ * @throws FatalError with file/line diagnostics on any syntax or
+ *         constraint error.
+ */
+Program assemble(const std::string &source, const ArchParams &params);
+
+/** Assemble with the default (paper Table 1) parameters. */
+Program assemble(const std::string &source);
+
+} // namespace tia
+
+#endif // TIA_CORE_ASSEMBLER_HH

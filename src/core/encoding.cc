@@ -1,0 +1,234 @@
+#include "core/encoding.hh"
+
+#include "core/logging.hh"
+
+namespace tia {
+
+namespace {
+
+/**
+ * Writes fields most-significant-first into a little-endian word vector.
+ * Bit index 0 of the encoding is the LSB of word 0.
+ */
+class BitWriter
+{
+  public:
+    BitWriter(MachineCode &words, unsigned total_bits)
+        : words_(words), nextMsb_(total_bits)
+    {
+    }
+
+    void
+    write(std::uint64_t value, unsigned width)
+    {
+        panicIf(width > 64, "BitWriter: field too wide");
+        panicIf(nextMsb_ < width, "BitWriter: encoding overflow");
+        panicIf(width < 64 && (value >> width) != 0,
+                "BitWriter: value does not fit its field");
+        nextMsb_ -= width;
+        for (unsigned i = 0; i < width; ++i) {
+            const unsigned bit = nextMsb_ + i;
+            if ((value >> i) & 1u)
+                words_[bit / 32] |= (1u << (bit % 32));
+        }
+    }
+
+    unsigned remaining() const { return nextMsb_; }
+
+  private:
+    MachineCode &words_;
+    unsigned nextMsb_;
+};
+
+/** Mirror of BitWriter for decoding. */
+class BitReader
+{
+  public:
+    BitReader(const MachineCode &words, unsigned total_bits)
+        : words_(words), nextMsb_(total_bits)
+    {
+    }
+
+    std::uint64_t
+    read(unsigned width)
+    {
+        panicIf(width > 64, "BitReader: field too wide");
+        panicIf(nextMsb_ < width, "BitReader: encoding underflow");
+        nextMsb_ -= width;
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < width; ++i) {
+            const unsigned bit = nextMsb_ + i;
+            if ((words_[bit / 32] >> (bit % 32)) & 1u)
+                value |= (std::uint64_t{1} << i);
+        }
+        return value;
+    }
+
+    unsigned remaining() const { return nextMsb_; }
+
+  private:
+    const MachineCode &words_;
+    unsigned nextMsb_;
+};
+
+} // namespace
+
+MachineCode
+encode(const ArchParams &params, const Instruction &inst)
+{
+    if (inst.trigger.valid)
+        inst.validate(params);
+
+    const FieldWidths w = fieldWidths(params);
+    MachineCode code(w.padded() / 32, 0);
+    BitWriter writer(code, w.total());
+
+    writer.write(inst.trigger.valid ? 1 : 0, w.val);
+    writer.write(inst.trigger.predOn, params.numPreds);
+    writer.write(inst.trigger.predOff, params.numPreds);
+
+    const unsigned qidx_bits = clog2(params.numInputQueues + 1);
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot) {
+        const bool present = slot < inst.trigger.queueChecks.size();
+        writer.write(present ? inst.trigger.queueChecks[slot].queue + 1u : 0u,
+                     qidx_bits);
+    }
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot) {
+        const bool present = slot < inst.trigger.queueChecks.size();
+        writer.write(present && inst.trigger.queueChecks[slot].negate ? 1 : 0,
+                     1);
+    }
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot) {
+        const bool present = slot < inst.trigger.queueChecks.size();
+        writer.write(present ? inst.trigger.queueChecks[slot].tag : 0,
+                     params.tagWidth);
+    }
+
+    writer.write(static_cast<std::uint64_t>(inst.op), w.op);
+
+    for (const auto &src : inst.srcs)
+        writer.write(static_cast<std::uint64_t>(src.type), 2);
+    const unsigned src_id_bits = w.srcIds / params.numSrcs;
+    for (const auto &src : inst.srcs)
+        writer.write(src.index, src_id_bits);
+
+    writer.write(static_cast<std::uint64_t>(inst.dst.type), 2);
+    writer.write(inst.dst.index, w.dstIds / params.numDsts);
+    writer.write(inst.outTag, w.outTag);
+
+    for (unsigned slot = 0; slot < params.maxDeq; ++slot) {
+        const bool present = slot < inst.dequeues.size();
+        writer.write(present ? inst.dequeues[slot] + 1u : 0u, qidx_bits);
+    }
+
+    writer.write(inst.predSet, params.numPreds);
+    writer.write(inst.predClear, params.numPreds);
+    writer.write(inst.imm, w.imm);
+
+    panicIf(writer.remaining() != 0, "encode: layout mismatch");
+    return code;
+}
+
+Instruction
+decode(const ArchParams &params, const MachineCode &code)
+{
+    const FieldWidths w = fieldWidths(params);
+    fatalIf(code.size() != w.padded() / 32,
+            "decode: expected ", w.padded() / 32, " words, got ",
+            code.size());
+
+    BitReader reader(code, w.total());
+    Instruction inst;
+
+    inst.trigger.valid = reader.read(w.val) != 0;
+    inst.trigger.predOn = reader.read(params.numPreds);
+    inst.trigger.predOff = reader.read(params.numPreds);
+
+    const unsigned qidx_bits = clog2(params.numInputQueues + 1);
+    std::vector<unsigned> check_queues(params.maxCheck);
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot)
+        check_queues[slot] = static_cast<unsigned>(reader.read(qidx_bits));
+    std::vector<bool> check_negate(params.maxCheck);
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot)
+        check_negate[slot] = reader.read(1) != 0;
+    for (unsigned slot = 0; slot < params.maxCheck; ++slot) {
+        const Tag tag = static_cast<Tag>(reader.read(params.tagWidth));
+        if (check_queues[slot] != 0) {
+            inst.trigger.queueChecks.push_back(
+                {static_cast<std::uint8_t>(check_queues[slot] - 1), tag,
+                 check_negate[slot]});
+        }
+    }
+
+    inst.op = static_cast<Op>(reader.read(w.op));
+
+    const unsigned src_id_bits = w.srcIds / params.numSrcs;
+    for (auto &src : inst.srcs)
+        src.type = static_cast<SrcType>(reader.read(2));
+    for (auto &src : inst.srcs)
+        src.index = static_cast<std::uint8_t>(reader.read(src_id_bits));
+
+    inst.dst.type = static_cast<DstType>(reader.read(2));
+    inst.dst.index =
+        static_cast<std::uint8_t>(reader.read(w.dstIds / params.numDsts));
+    inst.outTag = static_cast<Tag>(reader.read(w.outTag));
+
+    for (unsigned slot = 0; slot < params.maxDeq; ++slot) {
+        const unsigned entry = static_cast<unsigned>(reader.read(qidx_bits));
+        if (entry != 0)
+            inst.dequeues.push_back(static_cast<std::uint8_t>(entry - 1));
+    }
+
+    inst.predSet = reader.read(params.numPreds);
+    inst.predClear = reader.read(params.numPreds);
+    inst.imm = static_cast<Word>(reader.read(w.imm));
+
+    panicIf(reader.remaining() != 0, "decode: layout mismatch");
+
+    if (inst.trigger.valid)
+        inst.validate(params);
+    return inst;
+}
+
+MachineCode
+encodeStore(const ArchParams &params,
+            const std::vector<Instruction> &instructions)
+{
+    fatalIf(instructions.size() > params.numInstructions,
+            "program has ", instructions.size(),
+            " instructions but the PE holds only ", params.numInstructions,
+            " (NIns)");
+    const unsigned words_per = fieldWidths(params).padded() / 32;
+    MachineCode code;
+    code.reserve(words_per * params.numInstructions);
+    for (unsigned i = 0; i < params.numInstructions; ++i) {
+        MachineCode one;
+        if (i < instructions.size()) {
+            one = encode(params, instructions[i]);
+        } else {
+            Instruction invalid;
+            invalid.trigger.valid = false;
+            one = encode(params, invalid);
+        }
+        code.insert(code.end(), one.begin(), one.end());
+    }
+    return code;
+}
+
+std::vector<Instruction>
+decodeStore(const ArchParams &params, const MachineCode &code)
+{
+    const unsigned words_per = fieldWidths(params).padded() / 32;
+    fatalIf(code.size() != words_per * params.numInstructions,
+            "decodeStore: expected ", words_per * params.numInstructions,
+            " words, got ", code.size());
+    std::vector<Instruction> instructions;
+    for (unsigned i = 0; i < params.numInstructions; ++i) {
+        MachineCode one(code.begin() + i * words_per,
+                        code.begin() + (i + 1) * words_per);
+        instructions.push_back(decode(params, one));
+    }
+    return instructions;
+}
+
+} // namespace tia

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Bit-exact binary instruction encoding per paper Table 2.
+ *
+ * Fields are laid out most-significant-first in Table 2 order (Val,
+ * PredMask, QueueIndices, NotTags, TagVals, Op, SrcTypes, SrcIDs,
+ * DstTypes, DstIDs, OutTag, IQueueDeq, PredUpdate, Imm), for a total of
+ * 106 bits at the default parameters. For host-side manipulation each
+ * instruction is padded with leading zeros to a round multiple of 32
+ * bits (128 at defaults), exactly as the paper's memory-mapped
+ * interface does (Section 2.3); the padding "is never stored in the
+ * write-only instruction memory".
+ */
+
+#ifndef TIA_CORE_ENCODING_HH
+#define TIA_CORE_ENCODING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instruction.hh"
+#include "core/params.hh"
+
+namespace tia {
+
+/**
+ * Encoded machine instruction: padded()/32 little-endian words
+ * (word 0 holds encoding bits 31:0).
+ */
+using MachineCode = std::vector<std::uint32_t>;
+
+/**
+ * Encode @p inst to machine code.
+ *
+ * @param params parameter assignment governing field widths.
+ * @param inst   instruction; validated before encoding.
+ * @return padded machine code words.
+ */
+MachineCode encode(const ArchParams &params, const Instruction &inst);
+
+/**
+ * Decode machine code back to an Instruction.
+ *
+ * @param params parameter assignment governing field widths.
+ * @param code   padded()/32 words as produced by encode().
+ * @throws FatalError if @p code has the wrong length or violates an
+ *         architectural constraint.
+ */
+Instruction decode(const ArchParams &params, const MachineCode &code);
+
+/**
+ * Encode a full PE instruction store: numInstructions entries, each
+ * padded; missing entries are encoded as invalid (Val = 0).
+ */
+MachineCode encodeStore(const ArchParams &params,
+                        const std::vector<Instruction> &instructions);
+
+/** Decode a full PE instruction store produced by encodeStore(). */
+std::vector<Instruction> decodeStore(const ArchParams &params,
+                                     const MachineCode &code);
+
+} // namespace tia
+
+#endif // TIA_CORE_ENCODING_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad program, bad configuration); panic()
+ * is for internal invariant violations, i.e. library bugs.
+ */
+
+#ifndef TIA_CORE_LOGGING_HH
+#define TIA_CORE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tia {
+
+/** Thrown when a user-supplied program or configuration is invalid. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Thrown when an internal invariant is violated (a library bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report a user-level error (bad assembly, invalid parameters, ...).
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw FatalError(os.str());
+}
+
+/**
+ * Report an internal invariant violation.
+ * @throws PanicError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw PanicError(os.str());
+}
+
+/** Assert an internal invariant with a formatted message. */
+template <typename... Args>
+void
+panicIf(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+/** Raise a user-level error when @p condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+} // namespace tia
+
+#endif // TIA_CORE_LOGGING_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The 42-operation (NOps = 42, Table 1) RISC-style integer operation set.
+ *
+ * The paper's ISA offers "a full complement of arithmetic and logical
+ * operations", a "wide range of comparison operations", "a rich set of
+ * bit manipulation instructions, such as clz and ctz", two-word-product
+ * integer multiplication, and scratchpad loads/stores (Section 2.2).
+ * Division and floating point are intentionally absent; the udiv
+ * workload implements division in software on top of these operations.
+ */
+
+#ifndef TIA_CORE_OPCODE_HH
+#define TIA_CORE_OPCODE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/types.hh"
+
+namespace tia {
+
+/** Datapath operations. Enumerator value == binary opcode. */
+enum class Op : std::uint8_t
+{
+    // Moves / control.
+    Nop = 0,
+    Mov,
+    Halt,
+
+    // Arithmetic.
+    Add,
+    Sub,
+    Neg,
+    Mul,   ///< Low word of the product.
+    Mulhu, ///< High word of the unsigned two-word product.
+    Mulhs, ///< High word of the signed two-word product.
+
+    // Bitwise logic.
+    And,
+    Or,
+    Xor,
+    Not,
+    Nand,
+    Nor,
+    Xnor,
+
+    // Shifts and rotates (shift amount taken modulo the word width).
+    Sll,
+    Srl,
+    Sra,
+    Rol,
+    Ror,
+
+    // Comparisons (produce 0 or 1; primarily for predicate writes).
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+
+    // Bit manipulation.
+    Clz,   ///< Count leading zeros (32 for zero input).
+    Ctz,   ///< Count trailing zeros (32 for zero input).
+    Popc,  ///< Population count.
+    Brev,  ///< Bit reversal.
+    Bswap, ///< Byte swap.
+
+    // Min/max.
+    Min,
+    Max,
+    Umin,
+    Umax,
+
+    // Scratchpad access (address = src0 + src1 for loads;
+    // stores write src1 to address src0 and have no destination).
+    Lsw,
+    Ssw,
+
+    NumOps
+};
+
+/** Number of operations; must equal ArchParams::numOps at defaults. */
+constexpr unsigned kNumOps = static_cast<unsigned>(Op::NumOps);
+
+/** Static properties of an operation. */
+struct OpInfo
+{
+    std::string_view mnemonic; ///< Assembly mnemonic.
+    unsigned numSrcs;          ///< Source operands consumed (0-2).
+    bool hasResult;            ///< Produces a destination value.
+    bool isComparison;         ///< Result is Boolean 0/1.
+    bool readsScratchpad;      ///< Lsw.
+    bool writesScratchpad;     ///< Ssw (irreversible before retirement).
+    bool isHalt;               ///< Terminates the PE.
+};
+
+/** Look up the static properties of @p op. */
+const OpInfo &opInfo(Op op);
+
+/** Map an assembly mnemonic to its operation, if any. */
+std::optional<Op> opFromMnemonic(std::string_view mnemonic);
+
+/**
+ * Evaluate a pure (non-scratchpad, non-halt) operation.
+ *
+ * @param op operation; must satisfy neither readsScratchpad,
+ *           writesScratchpad nor isHalt.
+ * @param a  first source operand (zero if unused).
+ * @param b  second source operand (zero if unused).
+ * @return the result word.
+ */
+Word evalAlu(Op op, Word a, Word b);
+
+} // namespace tia
+
+#endif // TIA_CORE_OPCODE_HH

@@ -1,0 +1,35 @@
+#include "core/program.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace tia {
+
+void
+Program::validate() const
+{
+    params.validate();
+    for (unsigned pe = 0; pe < pes.size(); ++pe) {
+        fatalIf(pes[pe].size() > params.numInstructions,
+                "PE ", pe, " has ", pes[pe].size(),
+                " instructions; the PE holds only ", params.numInstructions,
+                " (NIns)");
+        for (const auto &inst : pes[pe])
+            inst.validate(params);
+    }
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    for (unsigned pe = 0; pe < pes.size(); ++pe) {
+        os << ".pe " << pe << "\n";
+        for (const auto &inst : pes[pe])
+            os << inst.toString(params) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace tia

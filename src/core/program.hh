@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Assembled multi-PE program container.
+ */
+
+#ifndef TIA_CORE_PROGRAM_HH
+#define TIA_CORE_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "core/instruction.hh"
+#include "core/params.hh"
+
+namespace tia {
+
+/**
+ * An assembled program: one priority-ordered instruction list per PE.
+ *
+ * PE indices are logical; the fabric wiring (which PE talks to which
+ * neighbor or memory port over which channel) is configured separately
+ * when the program is loaded.
+ */
+struct Program
+{
+    ArchParams params;
+    std::vector<std::vector<Instruction>> pes;
+
+    /** @return number of PEs the program targets. */
+    unsigned numPes() const { return static_cast<unsigned>(pes.size()); }
+
+    /** @return total static instruction count across all PEs. */
+    unsigned
+    staticInstructions() const
+    {
+        unsigned count = 0;
+        for (const auto &pe : pes)
+            count += static_cast<unsigned>(pe.size());
+        return count;
+    }
+
+    /** Validate every instruction and per-PE capacity. */
+    void validate() const;
+
+    /** Disassemble to assembly text (reassembles to an equal program). */
+    std::string toString() const;
+};
+
+} // namespace tia
+
+#endif // TIA_CORE_PROGRAM_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the TIA libraries.
+ */
+
+#ifndef TIA_CORE_TYPES_HH
+#define TIA_CORE_TYPES_HH
+
+#include <cstdint>
+
+namespace tia {
+
+/** Architectural data word (Table 1: Word = 32 bits). */
+using Word = std::uint32_t;
+
+/** Signed view of an architectural word, for arithmetic comparisons. */
+using SWord = std::int32_t;
+
+/** Double-width word used by the two-word-product multiplier. */
+using DWord = std::uint64_t;
+
+/** Queue tag value (Table 1: TagWidth = 2 bits at default parameters). */
+using Tag = std::uint8_t;
+
+/** Simulation time measured in PE clock cycles. */
+using Cycle = std::uint64_t;
+
+} // namespace tia
+
+#endif // TIA_CORE_TYPES_HH

@@ -1,0 +1,82 @@
+#include "sim/fabric_config.hh"
+
+#include <map>
+
+namespace tia {
+
+void
+FabricConfig::validate() const
+{
+    params.validate();
+    fatalIf(numPes == 0, "fabric needs at least one PE");
+    fatalIf(inputChannel.size() != numPes ||
+                outputChannel.size() != numPes,
+            "fabric wiring tables must have one row per PE");
+
+    // Each channel must have exactly one producer and one consumer.
+    std::map<int, unsigned> producers;
+    std::map<int, unsigned> consumers;
+
+    for (unsigned pe = 0; pe < numPes; ++pe) {
+        fatalIf(inputChannel[pe].size() != params.numInputQueues,
+                "PE ", pe, " input table size mismatch");
+        fatalIf(outputChannel[pe].size() != params.numOutputQueues,
+                "PE ", pe, " output table size mismatch");
+        for (int ch : inputChannel[pe]) {
+            if (ch == kUnbound)
+                continue;
+            fatalIf(ch < 0 || static_cast<unsigned>(ch) >= numChannels,
+                    "PE ", pe, " input bound to nonexistent channel ", ch);
+            ++consumers[ch];
+        }
+        for (int ch : outputChannel[pe]) {
+            if (ch == kUnbound)
+                continue;
+            fatalIf(ch < 0 || static_cast<unsigned>(ch) >= numChannels,
+                    "PE ", pe, " output bound to nonexistent channel ", ch);
+            ++producers[ch];
+        }
+    }
+    for (const auto &port : readPorts) {
+        fatalIf(port.addrChannel >= numChannels ||
+                    port.dataChannel >= numChannels,
+                "read port bound to nonexistent channel");
+        ++consumers[static_cast<int>(port.addrChannel)];
+        ++producers[static_cast<int>(port.dataChannel)];
+    }
+    for (const auto &port : writePorts) {
+        fatalIf(port.addrChannel >= numChannels ||
+                    port.dataChannel >= numChannels,
+                "write port bound to nonexistent channel");
+        ++consumers[static_cast<int>(port.addrChannel)];
+        ++consumers[static_cast<int>(port.dataChannel)];
+    }
+
+    for (unsigned ch = 0; ch < numChannels; ++ch) {
+        const auto p = producers.find(static_cast<int>(ch));
+        const auto c = consumers.find(static_cast<int>(ch));
+        fatalIf(p == producers.end(), "channel ", ch, " has no producer");
+        fatalIf(c == consumers.end(), "channel ", ch, " has no consumer");
+        fatalIf(p->second != 1, "channel ", ch, " has ", p->second,
+                " producers (exactly one required)");
+        fatalIf(c->second != 1, "channel ", ch, " has ", c->second,
+                " consumers (exactly one required)");
+    }
+
+    fatalIf(initialRegs.size() > numPes,
+            "more initial register sets than PEs");
+    for (const auto &regs : initialRegs) {
+        fatalIf(regs.size() > params.numRegs,
+                "initial register set larger than the register file");
+    }
+    for (std::uint64_t preds : initialPreds) {
+        const std::uint64_t mask =
+            params.numPreds >= 64
+                ? ~std::uint64_t{0}
+                : ((std::uint64_t{1} << params.numPreds) - 1);
+        fatalIf((preds & ~mask) != 0,
+                "initial predicate state uses nonexistent predicates");
+    }
+}
+
+} // namespace tia

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Word-addressable data memory and its queue-endpoint access ports.
+ *
+ * The paper's architecture performs main-memory operations "explicitly
+ * via the queues using read and write ports as endpoints for designated
+ * channels" (Section 2.2). A read port consumes address tokens from one
+ * channel and produces data tokens on another after a fixed latency
+ * (4 cycles on the paper's Zynq test system); the response tag echoes
+ * the request tag so programs can thread semantic information through
+ * memory. A write port consumes paired address and data tokens.
+ */
+
+#ifndef TIA_SIM_MEMORY_HH
+#define TIA_SIM_MEMORY_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/logging.hh"
+#include "core/types.hh"
+#include "sim/queue.hh"
+
+namespace tia {
+
+/** Flat word-addressable memory (addresses are word indices). */
+class Memory
+{
+  public:
+    explicit Memory(std::size_t words) : words_(words, 0) {}
+
+    std::size_t size() const { return words_.size(); }
+
+    Word
+    read(Word address) const
+    {
+        fatalIf(address >= words_.size(), "memory read at ", address,
+                " out of bounds (size ", words_.size(), ")");
+        return words_[address];
+    }
+
+    void
+    write(Word address, Word value)
+    {
+        fatalIf(address >= words_.size(), "memory write at ", address,
+                " out of bounds (size ", words_.size(), ")");
+        words_[address] = value;
+    }
+
+    /** Direct access for preloading / validation. */
+    std::vector<Word> &data() { return words_; }
+    const std::vector<Word> &data() const { return words_; }
+
+  private:
+    std::vector<Word> words_;
+};
+
+/**
+ * Read port: address channel in, data channel out, pipelined with a
+ * fixed response latency. Accepts one new request per cycle.
+ */
+class MemoryReadPort
+{
+  public:
+    /**
+     * @param latency end-to-end load latency in cycles, from the
+     *        address token leaving the PE to the data token being
+     *        trigger-visible. Two cycles are consumed by the request
+     *        and response channel hops, the rest by the array itself.
+     */
+    MemoryReadPort(Memory &memory, TaggedQueue &addresses,
+                   TaggedQueue &responses, unsigned latency)
+        : memory_(memory), addresses_(addresses), responses_(responses),
+          latency_(latency >= 2 ? latency - 2 : 0)
+    {
+    }
+
+    /**
+     * Advance one cycle at time @p now: retire due responses (in
+     * order, when the response channel has space) and accept at most
+     * one new request.
+     */
+    void
+    step(Cycle now)
+    {
+        // Deliver the oldest due response if the output has room
+        // (snapshot view: space present at the start of the cycle).
+        if (!inFlight_.empty() && inFlight_.front().ready <= now &&
+            responses_.snapshotSize() < responses_.capacity()) {
+            responses_.push(inFlight_.front().token);
+            inFlight_.pop_front();
+        }
+        // Accept one request per cycle (snapshot view of availability).
+        if (addresses_.snapshotSize() > 0) {
+            Token request = addresses_.pop();
+            Token response{memory_.read(request.data), request.tag};
+            inFlight_.push_back({now + latency_, response});
+        }
+    }
+
+    /** Functional-mode service: satisfy one request immediately. */
+    bool
+    serviceOne()
+    {
+        if (addresses_.empty() || responses_.size() >= responses_.capacity())
+            return false;
+        Token request = addresses_.pop();
+        responses_.pushImmediate({memory_.read(request.data), request.tag});
+        return true;
+    }
+
+    /** True if requests are still being processed. */
+    bool busy() const { return !inFlight_.empty(); }
+
+  private:
+    struct Response
+    {
+        Cycle ready;
+        Token token;
+    };
+
+    Memory &memory_;
+    TaggedQueue &addresses_;
+    TaggedQueue &responses_;
+    unsigned latency_;
+    std::deque<Response> inFlight_;
+};
+
+/**
+ * Write port: consumes one (address, data) token pair per cycle when
+ * both channels have tokens available.
+ */
+class MemoryWritePort
+{
+  public:
+    MemoryWritePort(Memory &memory, TaggedQueue &addresses,
+                    TaggedQueue &data)
+        : memory_(memory), addresses_(addresses), data_(data)
+    {
+    }
+
+    /** Advance one cycle (snapshot view of availability). */
+    void
+    step(Cycle)
+    {
+        if (addresses_.snapshotSize() > 0 && data_.snapshotSize() > 0) {
+            Token address = addresses_.pop();
+            Token value = data_.pop();
+            memory_.write(address.data, value.data);
+            ++writesPerformed_;
+        }
+    }
+
+    /** Functional-mode service: perform one write immediately. */
+    bool
+    serviceOne()
+    {
+        if (addresses_.empty() || data_.empty())
+            return false;
+        Token address = addresses_.pop();
+        Token value = data_.pop();
+        memory_.write(address.data, value.data);
+        ++writesPerformed_;
+        return true;
+    }
+
+    std::uint64_t writesPerformed() const { return writesPerformed_; }
+
+  private:
+    Memory &memory_;
+    TaggedQueue &addresses_;
+    TaggedQueue &data_;
+    std::uint64_t writesPerformed_ = 0;
+};
+
+} // namespace tia
+
+#endif // TIA_SIM_MEMORY_HH

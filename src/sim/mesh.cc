@@ -1,0 +1,43 @@
+#include "sim/mesh.hh"
+
+#include "core/logging.hh"
+
+namespace tia {
+
+MeshBuilder::MeshBuilder(const ArchParams &params, unsigned rows,
+                         unsigned cols)
+    : FabricBuilder(params, rows * cols), rows_(rows), cols_(cols)
+{
+    fatalIf(rows == 0 || cols == 0, "mesh dimensions must be positive");
+    fatalIf(params.numInputQueues < 4 || params.numOutputQueues < 4,
+            "a mesh needs at least four input and output queues per PE");
+
+    for (unsigned r = 0; r < rows; ++r) {
+        for (unsigned c = 0; c < cols; ++c) {
+            // Eastward and westward links to the right neighbor.
+            if (c + 1 < cols) {
+                connect(pe(r, c), kEast, pe(r, c + 1), kWest);
+                connect(pe(r, c + 1), kWest, pe(r, c), kEast);
+            }
+            // Southward and northward links to the neighbor below.
+            if (r + 1 < rows) {
+                connect(pe(r, c), kSouth, pe(r + 1, c), kNorth);
+                connect(pe(r + 1, c), kNorth, pe(r, c), kSouth);
+            }
+        }
+    }
+}
+
+void
+MeshBuilder::requireEdge(unsigned row, unsigned col, MeshPort port) const
+{
+    fatalIf(row >= rows_ || col >= cols_, "mesh coordinate out of range");
+    const bool is_edge = (port == kNorth && row == 0) ||
+                         (port == kSouth && row == rows_ - 1) ||
+                         (port == kWest && col == 0) ||
+                         (port == kEast && col == cols_ - 1);
+    fatalIf(!is_edge, "port does not face the mesh edge at (", row, ", ",
+            col, ")");
+}
+
+} // namespace tia

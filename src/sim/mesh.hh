@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Mesh fabric builder: the paper's FPGA prototype arranges PEs "in
+ * small-scale spatial arrays (maximum 4x4 to fit on a Zynq SoC-FPGA)"
+ * with nearest-neighbor channels. This helper wires a rows x cols grid
+ * with bidirectional north/east/south/west links using the port
+ * convention below, leaving edge ports unbound for memory ports or
+ * external I/O.
+ *
+ * Port convention (both inputs and outputs):
+ *   0 = north, 1 = east, 2 = south, 3 = west.
+ */
+
+#ifndef TIA_SIM_MESH_HH
+#define TIA_SIM_MESH_HH
+
+#include "sim/fabric_config.hh"
+
+namespace tia {
+
+/** Mesh direction / port index. */
+enum MeshPort : unsigned
+{
+    kNorth = 0,
+    kEast = 1,
+    kSouth = 2,
+    kWest = 3,
+};
+
+/** PE index of grid position (row, col) in a rows x cols mesh. */
+constexpr unsigned
+meshPe(unsigned cols, unsigned row, unsigned col)
+{
+    return row * cols + col;
+}
+
+/**
+ * A FabricBuilder pre-wired as a rows x cols nearest-neighbor mesh.
+ *
+ * Every interior link is built in both directions: PE (r,c)'s east
+ * output feeds PE (r,c+1)'s west input and vice versa; likewise
+ * north/south. Edge-facing ports stay unbound so callers can attach
+ * memory read/write ports or leave them idle.
+ */
+class MeshBuilder : public FabricBuilder
+{
+  public:
+    MeshBuilder(const ArchParams &params, unsigned rows, unsigned cols);
+
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+    /** PE index at (row, col). */
+    unsigned
+    pe(unsigned row, unsigned col) const
+    {
+        return meshPe(cols_, row, col);
+    }
+
+    /**
+     * Attach a memory read port to an edge PE: addresses leave on the
+     * edge-facing output @p port, data returns on the matching input.
+     */
+    void
+    addEdgeReadPort(unsigned row, unsigned col, MeshPort port)
+    {
+        requireEdge(row, col, port);
+        addReadPort(pe(row, col), port, port);
+    }
+
+    /**
+     * Attach a memory write port to an edge PE: the edge-facing
+     * output @p addr_port carries addresses; @p data_port (any other
+     * unbound output, conventionally the opposite edge or an unused
+     * direction) carries data.
+     */
+    void
+    addEdgeWritePort(unsigned row, unsigned col, MeshPort addr_port,
+                     unsigned data_port)
+    {
+        requireEdge(row, col, addr_port);
+        addWritePort(pe(row, col), addr_port, data_port);
+    }
+
+  private:
+    void requireEdge(unsigned row, unsigned col, MeshPort port) const;
+
+    unsigned rows_;
+    unsigned cols_;
+};
+
+} // namespace tia
+
+#endif // TIA_SIM_MESH_HH

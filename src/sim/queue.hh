@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tagged data queues: the communication channels between PEs.
+ *
+ * Each entry carries a data word plus a small programmable tag
+ * (Section 2.1). Queues support deep peeking ("head and neck") to serve
+ * the effective-queue-status optimization of Section 5.3, and a
+ * cycle-start snapshot discipline so that all agents in a cycle observe
+ * a consistent, RTL-like view of occupancy: pushes performed during a
+ * cycle become visible only at the next cycle boundary.
+ */
+
+#ifndef TIA_SIM_QUEUE_HH
+#define TIA_SIM_QUEUE_HH
+
+#include <deque>
+#include <optional>
+
+#include "core/logging.hh"
+#include "core/types.hh"
+
+namespace tia {
+
+/** One tagged token. */
+struct Token
+{
+    Word data = 0;
+    Tag tag = 0;
+
+    bool operator==(const Token &) const = default;
+};
+
+/**
+ * A bounded FIFO of tagged tokens with single producer and single
+ * consumer, deferred-push semantics and cycle-start occupancy
+ * snapshots.
+ */
+class TaggedQueue
+{
+  public:
+    explicit TaggedQueue(unsigned capacity) : capacity_(capacity)
+    {
+        fatalIf(capacity == 0, "queue capacity must be positive");
+    }
+
+    /** Queue capacity in entries. */
+    unsigned capacity() const { return capacity_; }
+
+    /** Live occupancy (committed entries only). */
+    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+
+    /** Occupancy at the start of the current cycle. */
+    unsigned snapshotSize() const { return snapshotSize_; }
+
+    /** Live emptiness. */
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Peek at depth @p depth (0 = head, 1 = neck, ...), using live
+     * contents; returns nullopt beyond the live occupancy.
+     */
+    std::optional<Token>
+    peek(unsigned depth = 0) const
+    {
+        if (depth >= entries_.size())
+            return std::nullopt;
+        return entries_[depth];
+    }
+
+    /** Pop the head. Takes effect immediately (within-cycle). */
+    Token
+    pop()
+    {
+        panicIf(entries_.empty(), "pop from empty queue");
+        Token token = entries_.front();
+        entries_.pop_front();
+        ++totalPops_;
+        ++popsThisCycle_;
+        return token;
+    }
+
+    /** Pops performed since the last beginCycle(). */
+    unsigned popsThisCycle() const { return popsThisCycle_; }
+
+    /**
+     * Push a token; deferred until the next commit() so other agents
+     * evaluated later in the same cycle do not observe it early.
+     */
+    void
+    push(const Token &token)
+    {
+        panicIf(entries_.size() + pending_.size() >= capacity_,
+                "push to full queue (capacity ", capacity_,
+                ") — a hazard check failed");
+        pending_.push_back(token);
+        ++totalPushes_;
+    }
+
+    /** Begin a cycle: record the occupancy snapshot. */
+    void
+    beginCycle()
+    {
+        snapshotSize_ = size();
+        popsThisCycle_ = 0;
+    }
+
+    /** End a cycle: make this cycle's pushes visible. */
+    void
+    commit()
+    {
+        for (const auto &token : pending_)
+            entries_.push_back(token);
+        pending_.clear();
+    }
+
+    /** Immediate push for the functional simulator (no deferral). */
+    void
+    pushImmediate(const Token &token)
+    {
+        panicIf(entries_.size() >= capacity_, "push to full queue");
+        entries_.push_back(token);
+        ++totalPushes_;
+    }
+
+    /** Total tokens ever pushed (pending included). */
+    std::uint64_t totalPushes() const { return totalPushes_; }
+    /** Total tokens ever popped. */
+    std::uint64_t totalPops() const { return totalPops_; }
+
+    /** True if a push from this cycle is awaiting commit(). */
+    bool hasPendingPush() const { return !pending_.empty(); }
+
+    /** Number of pushes from this cycle awaiting commit(). */
+    unsigned
+    pendingPushes() const
+    {
+        return static_cast<unsigned>(pending_.size());
+    }
+
+  private:
+    unsigned capacity_;
+    std::deque<Token> entries_;
+    std::deque<Token> pending_;
+    unsigned snapshotSize_ = 0;
+    unsigned popsThisCycle_ = 0;
+    std::uint64_t totalPushes_ = 0;
+    std::uint64_t totalPops_ = 0;
+};
+
+} // namespace tia
+
+#endif // TIA_SIM_QUEUE_HH

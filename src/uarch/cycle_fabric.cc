@@ -1,0 +1,116 @@
+#include "uarch/cycle_fabric.hh"
+
+#include "core/logging.hh"
+
+namespace tia {
+
+CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
+                         const PeConfig &uarch)
+    : config_(config), memory_(config.memoryWords)
+{
+    config_.validate();
+    fatalIf(program.numPes() > config_.numPes,
+            "program targets ", program.numPes(),
+            " PEs but the fabric has ", config_.numPes);
+
+    for (unsigned ch = 0; ch < config_.numChannels; ++ch) {
+        channels_.push_back(
+            std::make_unique<TaggedQueue>(config_.params.queueCapacity));
+    }
+
+    for (unsigned pe = 0; pe < config_.numPes; ++pe) {
+        std::vector<Instruction> insts;
+        if (pe < program.numPes())
+            insts = program.pes[pe];
+        auto pipelined = std::make_unique<PipelinedPe>(
+            config_.params, uarch, std::move(insts));
+        for (unsigned port = 0; port < config_.params.numInputQueues;
+             ++port) {
+            const int ch = config_.inputChannel[pe][port];
+            if (ch != kUnbound)
+                pipelined->bindInput(port, channels_[ch].get());
+        }
+        for (unsigned port = 0; port < config_.params.numOutputQueues;
+             ++port) {
+            const int ch = config_.outputChannel[pe][port];
+            if (ch != kUnbound)
+                pipelined->bindOutput(port, channels_[ch].get());
+        }
+        if (pe < config_.initialRegs.size())
+            pipelined->setRegs(config_.initialRegs[pe]);
+        if (pe < config_.initialPreds.size())
+            pipelined->setPreds(config_.initialPreds[pe]);
+        pes_.push_back(std::move(pipelined));
+    }
+
+    for (const auto &spec : config_.readPorts) {
+        readPorts_.push_back(std::make_unique<MemoryReadPort>(
+            memory_, *channels_[spec.addrChannel],
+            *channels_[spec.dataChannel], config_.memLatency));
+    }
+    for (const auto &spec : config_.writePorts) {
+        writePorts_.push_back(std::make_unique<MemoryWritePort>(
+            memory_, *channels_[spec.addrChannel],
+            *channels_[spec.dataChannel]));
+    }
+}
+
+void
+CycleFabric::step()
+{
+    for (auto &channel : channels_)
+        channel->beginCycle();
+    for (auto &pe : pes_)
+        pe->step();
+    for (auto &port : readPorts_)
+        port->step(now_);
+    for (auto &port : writePorts_)
+        port->step(now_);
+    for (auto &channel : channels_)
+        channel->commit();
+    ++now_;
+}
+
+bool
+CycleFabric::anyActivity() const
+{
+    for (const auto &pe : pes_) {
+        if (!pe->halted() && pe->busy())
+            return true;
+    }
+    for (const auto &port : readPorts_) {
+        if (port->busy())
+            return true;
+    }
+    return false;
+}
+
+RunStatus
+CycleFabric::run(Cycle max_cycles, Cycle quiescence_window)
+{
+    std::uint64_t last_retired = 0;
+    Cycle last_activity = now_;
+
+    while (now_ < max_cycles) {
+        bool all_halted = true;
+        for (const auto &pe : pes_)
+            all_halted &= pe->halted();
+        if (all_halted)
+            return RunStatus::Halted;
+
+        step();
+
+        std::uint64_t retired = 0;
+        for (const auto &pe : pes_)
+            retired += pe->counters().retired;
+        if (retired != last_retired || anyActivity()) {
+            last_retired = retired;
+            last_activity = now_;
+        } else if (now_ - last_activity >= quiescence_window) {
+            return RunStatus::Quiescent;
+        }
+    }
+    return RunStatus::StepLimit;
+}
+
+} // namespace tia

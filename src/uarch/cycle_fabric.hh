@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-accurate spatial fabric: pipelined PEs + channels + memory
+ * ports stepped in lockstep with RTL-like update semantics (pushes
+ * commit at cycle boundaries; all agents observe consistent state
+ * regardless of evaluation order).
+ */
+
+#ifndef TIA_UARCH_CYCLE_FABRIC_HH
+#define TIA_UARCH_CYCLE_FABRIC_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/program.hh"
+#include "sim/fabric_config.hh"
+#include "sim/functional.hh" // RunStatus
+#include "sim/memory.hh"
+#include "sim/queue.hh"
+#include "uarch/pipelined_pe.hh"
+
+namespace tia {
+
+/** A full cycle-accurate fabric running one microarchitecture. */
+class CycleFabric
+{
+  public:
+    /**
+     * @param config  fabric wiring (same object the functional fabric
+     *                takes, enabling equivalence testing).
+     * @param program assembled program.
+     * @param uarch   PE microarchitecture used for every PE.
+     */
+    CycleFabric(const FabricConfig &config, const Program &program,
+                const PeConfig &uarch);
+
+    /** Advance one clock cycle. */
+    void step();
+
+    /**
+     * Run until every PE halts, the fabric goes quiescent (no retire
+     * or memory activity for @p quiescence_window cycles), or
+     * @p max_cycles elapse.
+     */
+    RunStatus run(Cycle max_cycles = 50'000'000,
+                  Cycle quiescence_window = 10'000);
+
+    Cycle now() const { return now_; }
+
+    Memory &memory() { return memory_; }
+    const Memory &memory() const { return memory_; }
+
+    PipelinedPe &pe(unsigned index) { return *pes_.at(index); }
+    const PipelinedPe &pe(unsigned index) const { return *pes_.at(index); }
+    unsigned numPes() const { return static_cast<unsigned>(pes_.size()); }
+
+  private:
+    bool anyActivity() const;
+
+    FabricConfig config_;
+    Memory memory_;
+    std::vector<std::unique_ptr<TaggedQueue>> channels_;
+    std::vector<std::unique_ptr<PipelinedPe>> pes_;
+    std::vector<std::unique_ptr<MemoryReadPort>> readPorts_;
+    std::vector<std::unique_ptr<MemoryWritePort>> writePorts_;
+    Cycle now_ = 0;
+};
+
+} // namespace tia
+
+#endif // TIA_UARCH_CYCLE_FABRIC_HH

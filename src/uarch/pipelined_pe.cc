@@ -1,0 +1,464 @@
+#include "uarch/pipelined_pe.hh"
+
+#include "core/logging.hh"
+#include "core/opcode.hh"
+
+namespace tia {
+
+/**
+ * Queue status as the pipelined scheduler sees it: live input
+ * occupancy net of in-flight dequeues, cycle-start output occupancy
+ * gross of in-flight and just-performed enqueues. Without +Q the view
+ * degrades to the conservative full/empty discipline of Section 5.3.
+ */
+class CycleQueueView : public QueueStatusView
+{
+  public:
+    explicit CycleQueueView(const PipelinedPe &pe) : pe_(pe) {}
+
+    unsigned
+    inputOccupancy(unsigned q) const override
+    {
+        const TaggedQueue *queue = pe_.inputs_.at(q);
+        if (!queue)
+            return 0;
+        const unsigned pending = pe_.pendingDeq_.at(q);
+        if (!pe_.config_.effectiveQueueStatus) {
+            // Conservative (RAW-style): a dequeue that was in flight at
+            // the start of this cycle — including one that landed in
+            // decode this very cycle — makes the queue look empty.
+            const unsigned pending_at_start =
+                pending + queue->popsThisCycle();
+            return pending_at_start > 0 ? 0 : queue->size();
+        }
+        // Effective status: live occupancy net of in-flight dequeues
+        // (algebraically identical to cycle-start occupancy minus
+        // cycle-start in-flight dequeues).
+        const unsigned live = queue->size();
+        return live > pending ? live - pending : 0;
+    }
+
+    std::optional<Tag>
+    inputHeadTag(unsigned q) const override
+    {
+        const TaggedQueue *queue = pe_.inputs_.at(q);
+        if (!queue)
+            return std::nullopt;
+        const unsigned depth = pe_.config_.effectiveQueueStatus
+                                   ? pe_.pendingDeq_.at(q)
+                                   : 0;
+        const auto token = queue->peek(depth);
+        if (!token)
+            return std::nullopt;
+        return token->tag;
+    }
+
+    bool
+    outputHasSpace(unsigned q) const override
+    {
+        const TaggedQueue *queue = pe_.outputs_.at(q);
+        if (!queue)
+            return false;
+        const unsigned pending = pe_.pendingEnq_.at(q);
+        // Occupancy the consumer cannot have drained yet this cycle:
+        // cycle-start contents plus pushes performed this cycle.
+        const unsigned used = queue->snapshotSize() + queue->pendingPushes();
+        if (!pe_.config_.effectiveQueueStatus) {
+            // Conservative: any enqueue in flight at cycle start —
+            // including one that landed this cycle — makes the queue
+            // look full.
+            const unsigned pending_at_start =
+                pending + queue->pendingPushes();
+            return pending_at_start == 0 && used < queue->capacity();
+        }
+        return used + pending < queue->capacity();
+    }
+
+  private:
+    const PipelinedPe &pe_;
+};
+
+PipelinedPe::PipelinedPe(const ArchParams &params, const PeConfig &config,
+                         std::vector<Instruction> program)
+    : params_(params), config_(config), program_(std::move(program)),
+      regs_(params.numRegs, 0), scratchpad_(params.scratchpadWords, 0),
+      pendingDeq_(params.numInputQueues, 0),
+      pendingEnq_(params.numOutputQueues, 0),
+      pendingPredWrites_(params.numPreds, 0), predictor_(params.numPreds),
+      inputs_(params.numInputQueues, nullptr),
+      outputs_(params.numOutputQueues, nullptr)
+{
+    fatalIf(program_.size() > params_.numInstructions,
+            "program exceeds the PE instruction store");
+    fatalIf(config_.nestedSpeculation && !config_.predictPredicates,
+            "nested speculation (+N) requires predicate prediction (+P)");
+    for (const auto &inst : program_)
+        inst.validate(params_);
+}
+
+void
+PipelinedPe::bindInput(unsigned port, TaggedQueue *queue)
+{
+    inputs_.at(port) = queue;
+}
+
+void
+PipelinedPe::bindOutput(unsigned port, TaggedQueue *queue)
+{
+    outputs_.at(port) = queue;
+}
+
+void
+PipelinedPe::setRegs(const std::vector<Word> &values)
+{
+    fatalIf(values.size() > regs_.size(),
+            "initial register set larger than the register file");
+    for (std::size_t i = 0; i < values.size(); ++i)
+        regs_[i] = values[i];
+}
+
+bool
+PipelinedPe::busy() const
+{
+    return inFlight() > 0;
+}
+
+unsigned
+PipelinedPe::inFlight() const
+{
+    unsigned count = 0;
+    for (const auto &slot : slots_)
+        if (slot.has_value())
+            ++count;
+    return count;
+}
+
+bool
+PipelinedPe::dataHazardFor(const Instruction &inst, std::uint64_t id) const
+{
+    // An older producer at segment s_p writes back at now + (last -
+    // s_p); the consumer's first execute phase runs at now + (segX1 -
+    // segD). The operand must be registered strictly before that
+    // cycle, so a hazard exists iff s_p <= last - (segX1 - segD).
+    // With a unified X this threshold excludes every older in-flight
+    // position, making split-ALU shapes the only ones with register
+    // hazards (one bubble each).
+    const unsigned threshold = lastSeg() - (segX1() - segD());
+    for (unsigned s = 0; s < config_.shape.depth(); ++s) {
+        const auto &slot = slots_[s];
+        if (!slot.has_value() || slot->id >= id)
+            continue;
+        if (s > threshold)
+            continue;
+        const Instruction &producer = *slot->inst;
+        if (producer.dst.type != DstType::Reg)
+            continue;
+        for (const auto &src : inst.srcs) {
+            if (src.type == SrcType::Reg &&
+                src.index == producer.dst.index) {
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+Word
+PipelinedPe::readSource(const Source &src, Word imm) const
+{
+    switch (src.type) {
+      case SrcType::None:
+        return 0;
+      case SrcType::Reg:
+        return regs_.at(src.index);
+      case SrcType::InputQueue: {
+        const TaggedQueue *queue = inputs_.at(src.index);
+        panicIf(queue == nullptr, "read of unbound input queue");
+        const auto token = queue->peek(0);
+        panicIf(!token.has_value(),
+                "read of empty input queue — a hazard check failed");
+        return token->data;
+      }
+      case SrcType::Immediate:
+        return imm;
+    }
+    panic("readSource: bad source type");
+}
+
+void
+PipelinedPe::doDecode(InFlight &entry)
+{
+    const Instruction &inst = *entry.inst;
+    entry.operands[0] = readSource(inst.srcs[0], inst.imm);
+    entry.operands[1] = readSource(inst.srcs[1], inst.imm);
+    for (auto q : inst.dequeues) {
+        TaggedQueue *queue = inputs_.at(q);
+        panicIf(queue == nullptr, "dequeue of unbound input queue");
+        queue->pop();
+        panicIf(pendingDeq_.at(q) == 0, "dequeue accounting underflow");
+        --pendingDeq_.at(q);
+        ++counters_.dequeues;
+    }
+    entry.didD = true;
+}
+
+void
+PipelinedPe::flushSpeculative()
+{
+    for (auto &slot : slots_) {
+        if (!slot.has_value() || !slot->speculative())
+            continue;
+        const Instruction &inst = *slot->inst;
+        panicIf(inst.hasPreRetirementSideEffect(),
+                "a side-effecting instruction was issued speculatively");
+        if (inst.enqueues()) {
+            panicIf(pendingEnq_.at(inst.dst.index) == 0,
+                    "enqueue accounting underflow on flush");
+            --pendingEnq_.at(inst.dst.index);
+        }
+        ++counters_.quashed;
+        slot.reset();
+    }
+}
+
+void
+PipelinedPe::doWriteback(InFlight &entry)
+{
+    const Instruction &inst = *entry.inst;
+    panicIf(!entry.didD, "writeback before decode");
+    panicIf(entry.speculative(),
+            "a speculative instruction reached writeback unresolved");
+
+    const Word a = entry.operands[0];
+    const Word b = entry.operands[1];
+    const OpInfo &info = opInfo(inst.op);
+
+    Word result = 0;
+    if (info.isHalt) {
+        halted_ = true;
+    } else if (info.readsScratchpad) {
+        const Word address = a + b;
+        fatalIf(address >= scratchpad_.size(), "scratchpad load at ",
+                address, " out of bounds");
+        result = scratchpad_[address];
+    } else if (info.writesScratchpad) {
+        fatalIf(a >= scratchpad_.size(), "scratchpad store at ", a,
+                " out of bounds");
+        scratchpad_[a] = b;
+    } else {
+        result = evalAlu(inst.op, a, b);
+    }
+
+    switch (inst.dst.type) {
+      case DstType::None:
+        break;
+      case DstType::Reg:
+        regs_.at(inst.dst.index) = result;
+        break;
+      case DstType::OutputQueue: {
+        TaggedQueue *queue = outputs_.at(inst.dst.index);
+        panicIf(queue == nullptr, "enqueue to unbound output queue");
+        queue->push({result, inst.outTag});
+        panicIf(pendingEnq_.at(inst.dst.index) == 0,
+                "enqueue accounting underflow");
+        --pendingEnq_.at(inst.dst.index);
+        ++counters_.enqueues;
+        break;
+      }
+      case DstType::Predicate: {
+        const bool actual = (result & 1u) != 0;
+        const std::uint64_t bit = std::uint64_t{1} << inst.dst.index;
+        ++counters_.predicateWrites;
+        if (entry.isPredictor) {
+            panicIf(specContexts_.empty() ||
+                        specContexts_.front().id != entry.id,
+                    "predictor retired outside its speculation window");
+            predictor_.train(inst.dst.index, actual);
+            if (actual == entry.predictedValue) {
+                // Confirmed: this (oldest) context retires; everything
+                // issued under it sheds one speculation level.
+                specContexts_.erase(specContexts_.begin());
+                for (auto &slot : slots_) {
+                    if (slot.has_value() && slot->specLevel > 0)
+                        --slot->specLevel;
+                }
+            } else {
+                ++counters_.mispredictions;
+                // Everything younger — including any nested
+                // predictions and their contexts — is wrong-path.
+                preds_ = specContexts_.front().fallbackPreds;
+                preds_ = (preds_ & ~bit) | (actual ? bit : 0);
+                flushSpeculative();
+                specContexts_.clear();
+                // The squash also claims this cycle's issue slot: the
+                // restored predicate state only steers the front end
+                // from the next cycle on.
+                squashIssueThisCycle_ = true;
+            }
+        } else {
+            panicIf(config_.predictPredicates &&
+                        config_.shape.depth() > 1,
+                    "unpredicted predicate write under +P");
+            // Commits at the end of this cycle; the scheduler keeps
+            // seeing the bit as pending until then.
+            panicIf(pendingPredCommit_.has_value(),
+                    "two predicate writebacks in one cycle");
+            pendingPredCommit_ = PredCommit{inst.dst.index, actual};
+        }
+        break;
+      }
+    }
+    ++counters_.retired;
+}
+
+void
+PipelinedPe::issue()
+{
+    if (squashIssueThisCycle_) {
+        ++counters_.quashed;
+        return;
+    }
+    if (haltIssued_) {
+        // Scheduler is off while the halt drains.
+        ++counters_.noTrigger;
+        return;
+    }
+    if (slots_[0].has_value()) {
+        // The only stall source in these pipelines is a register
+        // dependence holding an instruction in its decode segment.
+        ++counters_.dataHazard;
+        return;
+    }
+
+    std::uint64_t pending_mask = 0;
+    for (unsigned p = 0; p < params_.numPreds; ++p) {
+        if (pendingPredWrites_[p] > 0)
+            pending_mask |= std::uint64_t{1} << p;
+    }
+
+    CycleQueueView view(*this);
+    const ScheduleResult result =
+        schedule(program_, preds_, pending_mask, view);
+    if (result.outcome == ScheduleOutcome::BlockedOnPredicate) {
+        ++counters_.predicateHazard;
+        return;
+    }
+    if (result.outcome == ScheduleOutcome::None) {
+        ++counters_.noTrigger;
+        return;
+    }
+
+    const Instruction &inst = program_[result.index];
+    if (specActive()) {
+        // During unconfirmed speculation, pre-retirement side effects
+        // are always barred; a further prediction is barred unless
+        // nested speculation (+N) is on and a context slot remains.
+        const bool nested_ok =
+            config_.nestedSpeculation &&
+            specContexts_.size() < kMaxNestedSpeculation;
+        if (inst.hasPreRetirementSideEffect() || opInfo(inst.op).isHalt ||
+            (inst.writesPredicate() && !nested_ok)) {
+            ++counters_.forbidden;
+            return;
+        }
+    }
+
+    InFlight entry;
+    entry.inst = &inst;
+    entry.index = result.index;
+    entry.id = nextId_++;
+    entry.specLevel = static_cast<unsigned>(specContexts_.size());
+
+    // Trigger-time predicate update applies at issue.
+    preds_ = (preds_ | inst.predSet) & ~inst.predClear;
+
+    if (inst.writesPredicate()) {
+        const bool predict =
+            config_.predictPredicates && config_.shape.depth() > 1;
+        if (predict) {
+            entry.isPredictor = true;
+            const bool predicted = predictor_.predict(inst.dst.index);
+            entry.predictedValue = predicted;
+            specContexts_.push_back({entry.id, preds_});
+            const std::uint64_t bit = std::uint64_t{1} << inst.dst.index;
+            preds_ = (preds_ & ~bit) | (predicted ? bit : 0);
+            ++counters_.predictions;
+        } else {
+            ++pendingPredWrites_.at(inst.dst.index);
+        }
+    }
+
+    for (auto q : inst.dequeues)
+        ++pendingDeq_.at(q);
+    if (inst.enqueues())
+        ++pendingEnq_.at(inst.dst.index);
+    if (opInfo(inst.op).isHalt)
+        haltIssued_ = true;
+
+    slots_[0] = entry;
+
+    // Segment-0 work happens in the issue cycle.
+    if (segD() == 0) {
+        if (!dataHazardFor(inst, slots_[0]->id))
+            doDecode(*slots_[0]);
+        // else: stall in slot 0; retried next cycle.
+    }
+    if (lastSeg() == 0)
+        doWriteback(*slots_[0]);
+}
+
+void
+PipelinedPe::step()
+{
+    if (halted_)
+        return;
+    ++counters_.cycles;
+
+    // (a) Work pass, oldest first so forwarding sees this cycle's
+    // writebacks.
+    for (int s = static_cast<int>(lastSeg()); s >= 0; --s) {
+        auto &slot = slots_[s];
+        if (!slot.has_value())
+            continue;
+        if (static_cast<unsigned>(s) == segD() && !slot->didD) {
+            if (!dataHazardFor(*slot->inst, slot->id))
+                doDecode(*slot);
+        }
+        if (static_cast<unsigned>(s) == lastSeg() && slot->didD)
+            doWriteback(*slot);
+    }
+
+    // (b) Trigger phase: issue (or attribute the lost cycle).
+    issue();
+
+    // (c) Advance. Retire writeback-complete instructions, then move
+    // everything whose segment work is done and whose next slot is
+    // free.
+    if (slots_[lastSeg()].has_value() && slots_[lastSeg()]->didD)
+        slots_[lastSeg()].reset();
+    for (int s = static_cast<int>(lastSeg()) - 1; s >= 0; --s) {
+        auto &slot = slots_[s];
+        if (!slot.has_value())
+            continue;
+        const bool work_done =
+            static_cast<unsigned>(s) != segD() || slot->didD;
+        if (work_done && !slots_[s + 1].has_value()) {
+            slots_[s + 1] = *slot;
+            slot.reset();
+        }
+    }
+
+    // (d) Clock edge: commit this cycle's datapath predicate write.
+    if (pendingPredCommit_.has_value()) {
+        const std::uint64_t bit = std::uint64_t{1}
+                                  << pendingPredCommit_->index;
+        preds_ = (preds_ & ~bit) | (pendingPredCommit_->value ? bit : 0);
+        panicIf(pendingPredWrites_.at(pendingPredCommit_->index) == 0,
+                "predicate-write accounting underflow");
+        --pendingPredWrites_.at(pendingPredCommit_->index);
+        pendingPredCommit_.reset();
+    }
+    squashIssueThisCycle_ = false;
+}
+
+} // namespace tia

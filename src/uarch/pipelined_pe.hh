@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Cycle-accurate pipelined triggered PE (paper Sections 4 and 5).
+ *
+ * One class models all eight stage partitions (TDX ... T|D|X1|X2) with
+ * the two hazard mitigations independently togglable:
+ *
+ *  - Without +P, an in-flight datapath predicate write makes dependent
+ *    triggers unresolvable; the front end stalls (predicate hazard)
+ *    whenever the highest-priority possibly-eligible trigger depends on
+ *    a pending predicate bit.
+ *  - With +P, a two-bit-counter prediction resolves the bit at issue;
+ *    nested speculation is not supported, and instructions with
+ *    pre-retirement side effects (dequeues, scratchpad stores, halt)
+ *    are forbidden while speculation is unconfirmed. Misprediction
+ *    flushes the younger in-flight instructions and restores the saved
+ *    predicate state.
+ *  - Without +Q, queues with in-flight dequeues are conservatively
+ *    treated as empty and queues with in-flight enqueues as full (the
+ *    RAW-style discipline cited in Section 5.3). With +Q, the scheduler
+ *    subtracts in-flight dequeues from input occupancy (peeking at the
+ *    "head and neck" for tags) and adds in-flight enqueues to output
+ *    occupancy.
+ *
+ * Phase timing: trigger work (scheduling, trigger-time predicate
+ * update, prediction) happens in the segment containing T; operand
+ * capture with full forwarding plus dequeues happen in the segment
+ * containing D (dequeues were "moved to decode" per Section 5.4);
+ * results, enqueues and datapath predicate writes commit at the end of
+ * the segment containing X (or X2). Back-to-back register dependences
+ * therefore cost one bubble exactly in the split-ALU (X1|X2) shapes.
+ */
+
+#ifndef TIA_UARCH_PIPELINED_PE_HH
+#define TIA_UARCH_PIPELINED_PE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/program.hh"
+#include "sim/queue.hh"
+#include "sim/scheduler.hh"
+#include "uarch/config.hh"
+#include "uarch/counters.hh"
+#include "uarch/predictor.hh"
+
+namespace tia {
+
+/** A cycle-accurate triggered PE with a configurable pipeline. */
+class PipelinedPe
+{
+  public:
+    PipelinedPe(const ArchParams &params, const PeConfig &config,
+                std::vector<Instruction> program);
+
+    void bindInput(unsigned port, TaggedQueue *queue);
+    void bindOutput(unsigned port, TaggedQueue *queue);
+    void setRegs(const std::vector<Word> &values);
+    void setPreds(std::uint64_t preds) { preds_ = preds; }
+
+    /** Advance one clock cycle. No-op once halted. */
+    void step();
+
+    /** True once a halt instruction has retired. */
+    bool halted() const { return halted_; }
+
+    /** True if any instruction is in flight (for quiescence checks). */
+    bool busy() const;
+
+    /** Number of issued-but-unretired instructions in the pipeline. */
+    unsigned inFlight() const;
+
+    const PerfCounters &counters() const { return counters_; }
+    const PeConfig &config() const { return config_; }
+
+    std::uint64_t preds() const { return preds_; }
+    const std::vector<Word> &regs() const { return regs_; }
+    const std::vector<Word> &scratchpad() const { return scratchpad_; }
+
+  private:
+    friend class CycleQueueView;
+
+    /** One instruction in flight. */
+    struct InFlight
+    {
+        const Instruction *inst = nullptr;
+        unsigned index = 0;       ///< Instruction-store index.
+        std::uint64_t id = 0;     ///< Issue order id.
+        /**
+         * Number of unconfirmed speculation contexts this instruction
+         * was issued under (0 = non-speculative). With nested
+         * speculation off this is at most 1.
+         */
+        unsigned specLevel = 0;
+        bool isPredictor = false; ///< Carries one of the predictions.
+        bool predictedValue = false;
+        bool didD = false;        ///< Operand capture / dequeue done.
+        std::array<Word, 2> operands = {0, 0};
+
+        bool speculative() const { return specLevel > 0; }
+    };
+
+    unsigned segD() const { return config_.shape.segD(); }
+    unsigned segX1() const { return config_.shape.segX1(); }
+    unsigned lastSeg() const { return config_.shape.depth() - 1; }
+
+    /** Register-dependence stall check for an instruction entering D. */
+    bool dataHazardFor(const Instruction &inst, std::uint64_t id) const;
+
+    /** Perform operand capture and dequeues (D-phase work). */
+    void doDecode(InFlight &entry);
+
+    /** Compute, commit and resolve speculation (X/writeback work). */
+    void doWriteback(InFlight &entry);
+
+    /** Issue logic for this cycle (T-phase work + attribution). */
+    void issue();
+
+    /** Flush all speculative in-flight instructions. */
+    void flushSpeculative();
+
+    Word readSource(const Source &src, Word imm) const;
+
+    const ArchParams params_;
+    const PeConfig config_;
+    std::vector<Instruction> program_;
+
+    // Architectural state.
+    std::vector<Word> regs_;
+    std::vector<Word> scratchpad_;
+    std::uint64_t preds_ = 0;
+    bool halted_ = false;
+
+    // Pipeline state.
+    std::array<std::optional<InFlight>, 4> slots_;
+    std::uint64_t nextId_ = 1;
+    bool haltIssued_ = false;
+
+    // Hazard accounting.
+    std::vector<unsigned> pendingDeq_; ///< Per input queue.
+    std::vector<unsigned> pendingEnq_; ///< Per output queue.
+    std::vector<unsigned> pendingPredWrites_; ///< Per predicate (no +P).
+
+    // Speculation state (+P / +N). Contexts are ordered oldest first;
+    // in-order execution guarantees they resolve front to back.
+    struct SpecContext
+    {
+        std::uint64_t id;            ///< Predicting instruction.
+        std::uint64_t fallbackPreds; ///< State to restore on mispredict.
+    };
+    PredicatePredictor predictor_;
+    std::vector<SpecContext> specContexts_;
+
+    /** Maximum simultaneous predictions with nested speculation. */
+    static constexpr unsigned kMaxNestedSpeculation = 3;
+
+    bool specActive() const { return !specContexts_.empty(); }
+
+    /**
+     * A datapath predicate write lands at the end of its writeback
+     * cycle, so it must stay invisible to this cycle's trigger
+     * resolution; it is buffered here and committed at end of step().
+     */
+    struct PredCommit
+    {
+        unsigned index;
+        bool value;
+    };
+    std::optional<PredCommit> pendingPredCommit_;
+
+    /** Misprediction squashes this cycle's issue slot as well. */
+    bool squashIssueThisCycle_ = false;
+
+    // Channel bindings.
+    std::vector<TaggedQueue *> inputs_;
+    std::vector<TaggedQueue *> outputs_;
+
+    PerfCounters counters_;
+};
+
+} // namespace tia
+
+#endif // TIA_UARCH_PIPELINED_PE_HH

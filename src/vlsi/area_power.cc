@@ -1,0 +1,175 @@
+#include "vlsi/area_power.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tia {
+
+const std::vector<ComponentShare> &
+singleCycleBreakdown()
+{
+    // Figure 3 with the Section 4 textual anchors: instruction store
+    // 25%/41%, queues 18%/22%, scheduler 6%/5%; front end (predicate
+    // unit + instruction memory + scheduler) 32%/48%; back end
+    // (register file + ALU) 46%/23%; area led by the ALU, power led by
+    // the instruction memory.
+    static const std::vector<ComponentShare> breakdown = {
+        {"ALU", 0.30, 0.15},
+        {"RegFile", 0.16, 0.08},
+        {"Queues", 0.18, 0.22},
+        {"Scheduler", 0.06, 0.05},
+        {"Ins. Mem.", 0.25, 0.41},
+        {"Pred. Unit", 0.01, 0.02},
+        {"Other", 0.04, 0.07},
+    };
+    return breakdown;
+}
+
+double
+AreaPowerModel::storageAreaScale(InstructionStorage storage)
+{
+    switch (storage) {
+      case InstructionStorage::ClockGatedRegister:
+        return 1.0;
+      case InstructionStorage::Latch:
+        // "Latches reduce the area by just over 30%" (Section 4).
+        return 1.0 - 0.305;
+      case InstructionStorage::MixedRegisterSram:
+        // CACTI-based: 16% area reduction over register-only.
+        return 1.0 - 0.16;
+    }
+    panic("bad instruction storage");
+}
+
+double
+AreaPowerModel::storagePowerScale(InstructionStorage storage)
+{
+    switch (storage) {
+      case InstructionStorage::ClockGatedRegister:
+        return 1.0;
+      case InstructionStorage::Latch:
+        // "power by 75% thanks to the removal of clock tree
+        // capacitance and smaller cells" (Section 4).
+        return 1.0 - 0.75;
+      case InstructionStorage::MixedRegisterSram:
+        // CACTI-based: 24% power reduction over register-only.
+        return 1.0 - 0.24;
+    }
+    panic("bad instruction storage");
+}
+
+void
+AreaPowerModel::checkStorage(const PeConfig &config,
+                             const ImplementationOptions &opts)
+{
+    // The mixed organization indexes SRAM with the selected
+    // instruction, which "is possible ... so long as the design is
+    // pipelined such that the stage in which instructions are
+    // triggered is separate from the stage in which those fields are
+    // decoded" (Section 4).
+    fatalIf(opts.instructionStorage ==
+                    InstructionStorage::MixedRegisterSram &&
+                !config.shape.splitTD,
+            "mixed register/SRAM instruction storage requires a T|D "
+            "pipeline split");
+}
+
+double
+AreaPowerModel::areaUm2(const PeConfig &config,
+                        const ImplementationOptions &opts) const
+{
+    checkStorage(config, opts);
+    double area = config.shape.depth() == 1 ? kSingleCycleAreaUm2
+                                            : kPipelinedAreaUm2;
+    area += area * kInsMemAreaFraction *
+            (storageAreaScale(opts.instructionStorage) - 1.0);
+    if (config.predictPredicates && config.effectiveQueueStatus)
+        area += kBothAreaUm2;
+    else if (config.predictPredicates)
+        area += kSpecAreaUm2;
+    else if (config.effectiveQueueStatus)
+        area += kQueueStatusAreaUm2;
+    if (opts.paddedOutputQueues) {
+        fatalIf(config.effectiveQueueStatus,
+                "padding and effective queue status are alternatives");
+        area += kPaddingAreaUm2;
+    }
+    return area;
+}
+
+double
+AreaPowerModel::gamma(double freq_mhz, double max_freq_mhz) const
+{
+    // Synthesis sizing pressure: gamma(0.42) = 1 reproduces the
+    // 500 MHz calibration anchors (500 / 1184 = 0.42 of the four-stage
+    // design's reach); near-fmax designs inflate ~3x, relaxed designs
+    // shrink toward minimum-size cells.
+    const double r =
+        std::clamp(max_freq_mhz > 0 ? freq_mhz / max_freq_mhz : 1.0, 0.0,
+                   1.0);
+    return 0.55 + 2.55 * r * r;
+}
+
+double
+AreaPowerModel::dynamicEnergyPerCyclePj(const PeConfig &config, double vdd,
+                                        double freq_mhz,
+                                        double max_freq_mhz,
+                                        const ImplementationOptions &opts)
+    const
+{
+    checkStorage(config, opts);
+    const unsigned boundaries = config.shape.depth() - 1;
+    double energy = kLogicEnergyPj + boundaries * kRegisterEnergyPj;
+    energy += kLogicEnergyPj * kInsMemPowerFraction *
+              (storagePowerScale(opts.instructionStorage) - 1.0);
+    if (config.predictPredicates)
+        energy += kSpecEnergyPj;
+    if (opts.paddedOutputQueues)
+        energy += kPaddingEnergyPj;
+    const double v_scale = (vdd / TechModel::kNominalVdd) *
+                           (vdd / TechModel::kNominalVdd);
+    return energy * v_scale * gamma(freq_mhz, max_freq_mhz);
+}
+
+double
+AreaPowerModel::leakagePowerMw(const PeConfig &config, double vdd,
+                               VtClass vt,
+                               const ImplementationOptions &opts) const
+{
+    const double area_scale = areaUm2(config, opts) / kPipelinedAreaUm2;
+    return kBaseLeakageMw * area_scale * tech_.leakageFactor(vdd, vt);
+}
+
+double
+AreaPowerModel::calibrationPowerMw(const PeConfig &config,
+                                   const ImplementationOptions &opts) const
+{
+    checkStorage(config, opts);
+    const unsigned boundaries = config.shape.depth() - 1;
+    double energy_pj = kLogicEnergyPj + boundaries * kRegisterEnergyPj;
+    energy_pj += kLogicEnergyPj * kInsMemPowerFraction *
+                 (storagePowerScale(opts.instructionStorage) - 1.0);
+    if (config.predictPredicates)
+        energy_pj += kSpecEnergyPj;
+    if (opts.paddedOutputQueues)
+        energy_pj += kPaddingEnergyPj;
+    const double calibration_freq_mhz = 500.0;
+    return energy_pj * calibration_freq_mhz * 1.0e-3 +
+           leakagePowerMw(config, TechModel::kNominalVdd,
+                          VtClass::Standard, opts);
+}
+
+double
+AreaPowerModel::totalPowerMw(const PeConfig &config, double vdd,
+                             VtClass vt, double freq_mhz,
+                             double max_freq_mhz,
+                             const ImplementationOptions &opts) const
+{
+    const double dynamic_mw =
+        dynamicEnergyPerCyclePj(config, vdd, freq_mhz, max_freq_mhz, opts) *
+        freq_mhz * 1.0e-3; // pJ * MHz = uW; /1000 = mW
+    return dynamic_mw + leakagePowerMw(config, vdd, vt, opts);
+}
+
+} // namespace tia

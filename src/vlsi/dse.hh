@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Design-space exploration over microarchitecture x VT library x
+ * supply voltage x target frequency (paper Section 3 methodology,
+ * Figures 6-8).
+ *
+ * The paper's grids: standard-VT cells characterized at 0.6-1.0 V in
+ * 0.1 V steps with target frequencies 100 MHz-1.5 GHz at 100 MHz
+ * granularity, refined to 50 MHz up through 500 MHz near threshold;
+ * low-/high-VT cells at 0.4/0.6/0.8/1.0 V, with the subthreshold
+ * high-VT sweeps additionally refined in 10 MHz increments through
+ * 100 MHz. Eight pipelines x four optimization settings = 32
+ * microarchitectures; the resulting space exceeds 4,000 design points.
+ */
+
+#ifndef TIA_VLSI_DSE_HH
+#define TIA_VLSI_DSE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uarch/config.hh"
+#include "vlsi/area_power.hh"
+#include "vlsi/tech.hh"
+
+namespace tia {
+
+/** CPI per microarchitecture (keyed by PeConfig::name()). */
+using CpiTable = std::map<std::string, double>;
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    PeConfig config;
+    VtClass vt = VtClass::Standard;
+    double vdd = 1.0;
+    double freqMhz = 0.0;
+    double maxFreqMhz = 0.0;
+
+    double cpi = 0.0;
+    double nsPerInstruction = 0.0;
+    double pjPerInstruction = 0.0;
+    double areaUm2 = 0.0;
+    double powerMw = 0.0;
+
+    /** Power density in mW/mm^2 (paper Section 5.4, Power Density). */
+    double
+    powerDensity() const
+    {
+        return powerMw / (areaUm2 * 1.0e-6);
+    }
+
+    /** Energy-delay product (pJ x ns). */
+    double edp() const { return nsPerInstruction * pjPerInstruction; }
+};
+
+class DesignSpace
+{
+  public:
+    explicit DesignSpace(CpiTable cpi) : cpi_(std::move(cpi)) {}
+
+    /** Evaluate one operating point (frequency must be <= max). */
+    DesignPoint evaluate(const PeConfig &config, VtClass vt, double vdd,
+                         double freq_mhz) const;
+
+    /**
+     * Enumerate the full methodology grid over @p configs (all 32 by
+     * default), skipping points above timing closure.
+     */
+    std::vector<DesignPoint>
+    enumerate(const std::vector<PeConfig> &configs = allConfigs()) const;
+
+    /** Frequency grid for one (vt, vdd) per the methodology. */
+    static std::vector<double> frequencyGridMhz(VtClass vt, double vdd);
+
+    /**
+     * Number of (config, vt, vdd, f) grid points attempted, i.e. the
+     * size of the characterization sweep before timing-closure
+     * pruning (the paper's "over 4,000 design points").
+     */
+    static std::size_t
+    gridSize(const std::vector<PeConfig> &configs = allConfigs());
+
+    /** Supply grid per VT library per the methodology. */
+    static std::vector<double> supplyGrid(VtClass vt);
+
+    /**
+     * The energy-delay Pareto frontier of @p points, sorted by
+     * ascending delay.
+     */
+    static std::vector<DesignPoint>
+    paretoFrontier(std::vector<DesignPoint> points);
+
+    double cpiFor(const PeConfig &config) const;
+
+    const AreaPowerModel &areaPower() const { return model_; }
+
+  private:
+    CpiTable cpi_;
+    AreaPowerModel model_;
+    TechModel tech_;
+};
+
+} // namespace tia
+
+#endif // TIA_VLSI_DSE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Technology model: a 65 nm general-purpose CMOS stand-in for the
+ * paper's characterized TSMC standard-cell libraries.
+ *
+ * The paper characterizes low/standard/high-VT libraries from 0.4 V to
+ * 1.0 V and drives Design Compiler / PrimeTime with them; we replace
+ * that flow with standard scaling laws anchored to every absolute
+ * number the paper reports (see DESIGN.md, substitution table):
+ *
+ *  - Gate delay follows an EKV-style unified current model that
+ *    reduces to the alpha-power law in strong inversion and to
+ *    exponential delay growth in the near/sub-threshold regime the
+ *    paper explicitly explores.
+ *  - Subthreshold leakage scales exponentially with -VT/(n*phi_t) and
+ *    with VDD through a DIBL term, giving the canonical ~10x per VT
+ *    class separation at 65 nm.
+ */
+
+#ifndef TIA_VLSI_TECH_HH
+#define TIA_VLSI_TECH_HH
+
+#include <string>
+
+namespace tia {
+
+/** Threshold-voltage flavor of the standard-cell library. */
+enum class VtClass
+{
+    Low,      ///< Fast, leaky (dominates the high-performance end).
+    Standard, ///< The nominal library.
+    High,     ///< Slow, low leakage (dominates low power).
+};
+
+/** Printable library name. */
+const char *vtName(VtClass vt);
+
+/** 65 nm technology constants and derived quantities. */
+class TechModel
+{
+  public:
+    /**
+     * FO4 inverter delay in picoseconds at @p vdd for @p vt.
+     *
+     * Calibrated so that a standard-VT trigger stage of 56.6 FO4
+     * closes at the paper's 1184 MHz at nominal 1.0 V (Section 5.4
+     * timing overhead discussion).
+     */
+    double fo4Ps(double vdd, VtClass vt) const;
+
+    /**
+     * Leakage current multiplier, normalized to the standard-VT
+     * library at 1.0 V (= 1.0).
+     */
+    double leakageFactor(double vdd, VtClass vt) const;
+
+    /** Threshold voltage of @p vt in volts. */
+    double thresholdV(VtClass vt) const;
+
+    /** Nominal supply voltage (1.0 V). */
+    static constexpr double kNominalVdd = 1.0;
+
+  private:
+    double effectiveCurrent(double vdd, VtClass vt) const;
+
+    // Threshold voltages per class (65 nm GP-flavored).
+    static constexpr double kVthLow = 0.22;
+    static constexpr double kVthStd = 0.33;
+    static constexpr double kVthHigh = 0.45;
+
+    static constexpr double kThermalV = 0.026; ///< phi_t at ~300 K.
+    static constexpr double kSubthresholdSlope = 1.45; ///< n.
+    static constexpr double kAlpha = 1.35; ///< Velocity-saturation exp.
+    static constexpr double kDibl = 0.08;  ///< DIBL V/V for leakage.
+};
+
+} // namespace tia
+
+#endif // TIA_VLSI_TECH_HH

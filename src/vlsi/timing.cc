@@ -1,0 +1,71 @@
+#include "vlsi/timing.hh"
+
+#include <algorithm>
+
+namespace tia {
+
+double
+criticalPathFo4(const PeConfig &config, const StageDelays &delays)
+{
+    const PipelineShape &shape = config.shape;
+    const double t_logic =
+        config.predictPredicates ? delays.triggerSpec : delays.trigger;
+    const double d_logic = delays.decode;
+    const double x_logic = delays.execute;
+
+    // Build the segment logic depths. The X1|X2 cut retimes freely
+    // within the ALU: the execute logic in the segment adjoining
+    // earlier phases shrinks to zero if that segment is already the
+    // long pole, else the ALU splits evenly.
+    double longest = 0.0;
+    if (!shape.splitTD && !shape.splitDX) {
+        // T, D (and possibly X1) share the first segment.
+        if (!shape.splitX) {
+            longest = t_logic + d_logic + x_logic; // TDX
+        } else {
+            // TDX1|X2: retiming pushes ALU logic into X2 until
+            // balanced.
+            const double front = t_logic + d_logic;
+            longest = std::max(front, (front + x_logic) / 2.0);
+            longest = std::max(longest, x_logic - (longest - front));
+        }
+    } else if (!shape.splitTD && shape.splitDX) {
+        // TD | X...
+        const double front = t_logic + d_logic;
+        if (!shape.splitX) {
+            longest = std::max(front, x_logic); // TD|X
+        } else {
+            longest = std::max(front, x_logic / 2.0); // TD|X1|X2
+        }
+    } else if (shape.splitTD && !shape.splitDX) {
+        // T | DX...
+        if (!shape.splitX) {
+            longest = std::max(t_logic, d_logic + x_logic); // T|DX
+        } else {
+            // T|DX1|X2: ALU retimes against D.
+            const double front = d_logic;
+            double split = std::max(front, (front + x_logic) / 2.0);
+            split = std::max(split, x_logic - (split - front));
+            longest = std::max(t_logic, split);
+        }
+    } else {
+        // T | D | X...
+        if (!shape.splitX) {
+            longest = std::max({t_logic, d_logic, x_logic}); // T|D|X
+        } else {
+            longest = std::max({t_logic, d_logic, x_logic / 2.0});
+        }
+    }
+    return longest + delays.sequencing;
+}
+
+double
+maxFrequencyMhz(const PeConfig &config, double vdd, VtClass vt,
+                const TechModel &tech)
+{
+    const double fo4_ps = tech.fo4Ps(vdd, vt);
+    const double period_ps = fo4_ps * criticalPathFo4(config);
+    return 1.0e6 / period_ps;
+}
+
+} // namespace tia

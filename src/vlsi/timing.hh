@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Per-microarchitecture critical paths in FO4 inverter delays.
+ *
+ * Section 5.4 anchors: the trigger stage is the long pole at 53.6 FO4
+ * of logic (64.3 with predicate speculation enabled), the balanced
+ * pipeline delay lands in the 50-60 FO4 range, and the unspeculated
+ * four-stage design closes at 1184 MHz at nominal voltage. Effective
+ * queue status has "no impact on timing closure". Retiming is allowed
+ * only within the multi-stage ALU, so the X1|X2 boundary floats to
+ * balance the execute logic while T and D logic stay put.
+ */
+
+#ifndef TIA_VLSI_TIMING_HH
+#define TIA_VLSI_TIMING_HH
+
+#include "uarch/config.hh"
+#include "vlsi/tech.hh"
+
+namespace tia {
+
+/** Phase logic depths and sequencing overhead, in FO4. */
+struct StageDelays
+{
+    double trigger = 53.6;     ///< T logic (Section 5.4).
+    double triggerSpec = 64.3; ///< T logic with +P (Section 5.4).
+    double decode = 16.0;      ///< Operand fetch + forwarding network.
+    double execute = 28.0;     ///< Full ALU incl. two-word multiply.
+    double sequencing = 3.0;   ///< Register clk-to-q + setup per stage.
+};
+
+/** Critical path of @p config in FO4 (max over its stage segments). */
+double criticalPathFo4(const PeConfig &config,
+                       const StageDelays &delays = StageDelays{});
+
+/**
+ * Maximum clock frequency in MHz of @p config at (@p vdd, @p vt).
+ */
+double maxFrequencyMhz(const PeConfig &config, double vdd, VtClass vt,
+                       const TechModel &tech = TechModel{});
+
+} // namespace tia
+
+#endif // TIA_VLSI_TIMING_HH

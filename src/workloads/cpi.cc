@@ -1,0 +1,42 @@
+#include "workloads/cpi.hh"
+
+#include "core/logging.hh"
+#include "workloads/runner.hh"
+
+namespace tia {
+
+CpiTable
+measureCpiTable(const WorkloadSizes &sizes,
+                const std::vector<PeConfig> &configs)
+{
+    const Workload bst = makeBst(sizes);
+    CpiTable table;
+    for (const PeConfig &config : configs) {
+        const WorkloadRun run = runCycle(bst, config);
+        fatalIf(!run.ok(), "bst failed on ", config.name(), ": ",
+                run.checkError);
+        table[config.name()] = run.worker.cpi();
+    }
+    return table;
+}
+
+CpiTable
+suiteAverageCpiTable(const WorkloadSizes &sizes,
+                     const std::vector<PeConfig> &configs)
+{
+    const auto suite = allWorkloads(sizes);
+    CpiTable table;
+    for (const PeConfig &config : configs) {
+        double sum = 0.0;
+        for (const Workload &workload : suite) {
+            const WorkloadRun run = runCycle(workload, config);
+            fatalIf(!run.ok(), workload.name, " failed on ",
+                    config.name(), ": ", run.checkError);
+            sum += run.worker.cpi();
+        }
+        table[config.name()] = sum / static_cast<double>(suite.size());
+    }
+    return table;
+}
+
+} // namespace tia

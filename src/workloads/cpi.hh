@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CPI measurement feeding the VLSI design-space exploration.
+ *
+ * The paper extracts gate-level activity (and the resulting per-design
+ * performance) from runs of the bst program, "the most balanced
+ * combination of I/O channel use, computation and memory access delay"
+ * among the single-PE workloads (Section 3). measureCpiTable()
+ * likewise runs bst on each microarchitecture; suiteAverageCpiTable()
+ * averages the whole Table 3 suite for sensitivity studies.
+ */
+
+#ifndef TIA_WORKLOADS_CPI_HH
+#define TIA_WORKLOADS_CPI_HH
+
+#include "vlsi/dse.hh"
+#include "workloads/workload.hh"
+
+namespace tia {
+
+/** Worker-PE CPI of bst on each of @p configs. */
+CpiTable measureCpiTable(const WorkloadSizes &sizes,
+                         const std::vector<PeConfig> &configs =
+                             allConfigs());
+
+/** Worker-PE CPI averaged over the full suite (ablation support). */
+CpiTable suiteAverageCpiTable(const WorkloadSizes &sizes,
+                              const std::vector<PeConfig> &configs =
+                                  allConfigs());
+
+} // namespace tia
+
+#endif // TIA_WORKLOADS_CPI_HH

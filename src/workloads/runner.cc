@@ -1,0 +1,49 @@
+#include "workloads/runner.hh"
+
+#include "uarch/cycle_fabric.hh"
+
+namespace tia {
+
+WorkloadRun
+runFunctional(const Workload &workload, std::uint64_t max_steps)
+{
+    FunctionalFabric fabric(workload.config, workload.program);
+    workload.preload(fabric.memory());
+
+    WorkloadRun run;
+    run.status = fabric.run(max_steps);
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe)
+        run.dynamicInstructions.push_back(
+            fabric.pe(pe).dynamicInstructions());
+    run.worker.retired =
+        fabric.pe(workload.workerPe).dynamicInstructions();
+    run.worker.predicateWrites =
+        fabric.pe(workload.workerPe).predicateWrites();
+    if (run.status == RunStatus::Halted)
+        run.checkError = workload.check(fabric.memory());
+    else
+        run.checkError = "run did not complete";
+    return run;
+}
+
+WorkloadRun
+runCycle(const Workload &workload, const PeConfig &uarch, Cycle max_cycles)
+{
+    CycleFabric fabric(workload.config, workload.program, uarch);
+    workload.preload(fabric.memory());
+
+    WorkloadRun run;
+    run.status = fabric.run(max_cycles);
+    run.totalCycles = fabric.now();
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe)
+        run.dynamicInstructions.push_back(
+            fabric.pe(pe).counters().retired);
+    run.worker = fabric.pe(workload.workerPe).counters();
+    if (run.status == RunStatus::Halted)
+        run.checkError = workload.check(fabric.memory());
+    else
+        run.checkError = "run did not complete";
+    return run;
+}
+
+} // namespace tia

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Convenience runners: execute a Workload on the functional or
+ * cycle-accurate fabric, validate the memory image, and collect the
+ * worker PE's counters (the figures the paper reports come from "the
+ * designated worker PE", Table 3).
+ */
+
+#ifndef TIA_WORKLOADS_RUNNER_HH
+#define TIA_WORKLOADS_RUNNER_HH
+
+#include "sim/functional.hh"
+#include "uarch/config.hh"
+#include "uarch/counters.hh"
+#include "workloads/workload.hh"
+
+namespace tia {
+
+/** Result of one workload execution. */
+struct WorkloadRun
+{
+    RunStatus status = RunStatus::StepLimit;
+    /** Empty when the golden model validated the memory image. */
+    std::string checkError;
+    /** Worker PE counters (cycle runs; functional fills a subset). */
+    PerfCounters worker;
+    /** Dynamic instructions per PE. */
+    std::vector<std::uint64_t> dynamicInstructions;
+    /** Total cycles simulated (cycle runs). */
+    Cycle totalCycles = 0;
+
+    bool ok() const { return status == RunStatus::Halted &&
+                             checkError.empty(); }
+};
+
+/** Run on the functional (golden) simulator. */
+WorkloadRun runFunctional(const Workload &workload,
+                          std::uint64_t max_steps = 50'000'000);
+
+/** Run cycle-accurately under microarchitecture @p uarch. */
+WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
+                     Cycle max_cycles = 100'000'000);
+
+} // namespace tia
+
+#endif // TIA_WORKLOADS_RUNNER_HH

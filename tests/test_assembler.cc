@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Assembler tests: the paper's example, grammar coverage, diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hh"
+#include "core/logging.hh"
+
+namespace tia {
+namespace {
+
+TEST(Assembler, PaperExample)
+{
+    // Section 2.2 verbatim: the merge-sort worker comparison.
+    const Program program = assemble(
+        "when %p == XXXX0000 with %i0.0, %i3.0:\n"
+        "    ult %p7, %i3, %i0; set %p = ZZZZ0001;\n");
+    ASSERT_EQ(program.pes.size(), 1u);
+    ASSERT_EQ(program.pes[0].size(), 1u);
+    const Instruction &inst = program.pes[0][0];
+
+    EXPECT_TRUE(inst.trigger.valid);
+    EXPECT_EQ(inst.trigger.predOn, 0u);
+    EXPECT_EQ(inst.trigger.predOff, 0x0fu); // low four predicates clear
+    ASSERT_EQ(inst.trigger.queueChecks.size(), 2u);
+    EXPECT_EQ(inst.trigger.queueChecks[0].queue, 0u);
+    EXPECT_EQ(inst.trigger.queueChecks[0].tag, 0u);
+    EXPECT_FALSE(inst.trigger.queueChecks[0].negate);
+    EXPECT_EQ(inst.trigger.queueChecks[1].queue, 3u);
+
+    EXPECT_EQ(inst.op, Op::Ult);
+    EXPECT_EQ(inst.dst.type, DstType::Predicate);
+    EXPECT_EQ(inst.dst.index, 7u);
+    EXPECT_EQ(inst.srcs[0].type, SrcType::InputQueue);
+    EXPECT_EQ(inst.srcs[0].index, 3u);
+    EXPECT_EQ(inst.srcs[1].type, SrcType::InputQueue);
+    EXPECT_EQ(inst.srcs[1].index, 0u);
+
+    EXPECT_EQ(inst.predSet, 0x01u);
+    EXPECT_EQ(inst.predClear, 0x0eu);
+}
+
+TEST(Assembler, OperandKinds)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXXX: add %r0, %r1, #42;\n"
+        "when %p == XXXXXXXX: add %o2.1, %i3, 0x10;\n"
+        "when %p == XXXXXXXX: mov %r7, -1;\n"
+        "when %p == XXXXXXXX: eq %p0, %i0, 'M';\n");
+    const auto &pe = program.pes[0];
+    ASSERT_EQ(pe.size(), 4u);
+
+    EXPECT_EQ(pe[0].srcs[1].type, SrcType::Immediate);
+    EXPECT_EQ(pe[0].imm, 42u);
+
+    EXPECT_EQ(pe[1].dst.type, DstType::OutputQueue);
+    EXPECT_EQ(pe[1].dst.index, 2u);
+    EXPECT_EQ(pe[1].outTag, 1u);
+    EXPECT_EQ(pe[1].imm, 0x10u);
+
+    EXPECT_EQ(pe[2].imm, 0xffffffffu);
+
+    EXPECT_EQ(pe[3].imm, static_cast<Word>('M'));
+}
+
+TEST(Assembler, DequeueClause)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXXX with %i0.0: mov %r0, %i0; deq %i0;\n"
+        "when %p == XXXXXXXX: add %r1, %i1, %i2; deq %i1, %i2;\n");
+    EXPECT_EQ(program.pes[0][0].dequeues, (std::vector<std::uint8_t>{0}));
+    EXPECT_EQ(program.pes[0][1].dequeues, (std::vector<std::uint8_t>{1, 2}));
+}
+
+TEST(Assembler, NegatedTagCheck)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXXX with %i1.!3: mov %r0, %i1; deq %i1;\n");
+    const auto &check = program.pes[0][0].trigger.queueChecks[0];
+    EXPECT_EQ(check.queue, 1u);
+    EXPECT_EQ(check.tag, 3u);
+    EXPECT_TRUE(check.negate);
+}
+
+TEST(Assembler, MultiPeProgramsAndComments)
+{
+    const Program program = assemble(
+        "// producer\n"
+        ".pe 0\n"
+        "when %p == XXXXXXXX: mov %o0.0, %r0;\n"
+        "// worker, two slots\n"
+        ".pe 2\n"
+        "when %p == XXXXXXXX: mov %r0, %i0; deq %i0;\n"
+        "when %p == XXXXXXX1: halt;\n");
+    ASSERT_EQ(program.pes.size(), 3u);
+    EXPECT_EQ(program.pes[0].size(), 1u);
+    EXPECT_EQ(program.pes[1].size(), 0u);
+    EXPECT_EQ(program.pes[2].size(), 2u);
+    EXPECT_EQ(program.pes[2][1].op, Op::Halt);
+    EXPECT_EQ(program.pes[2][1].trigger.predOn, 1u);
+}
+
+TEST(Assembler, DefConstants)
+{
+    const Program program = assemble(
+        ".def LIMIT 100\n"
+        ".def NEG_STEP -4\n"
+        "when %p == XXXXXXXX: add %r0, %r0, LIMIT;\n"
+        "when %p == XXXXXXXX: add %r1, %r1, NEG_STEP;\n");
+    EXPECT_EQ(program.pes[0][0].imm, 100u);
+    EXPECT_EQ(program.pes[0][1].imm, 0xfffffffcu);
+}
+
+TEST(Assembler, HaltAndNopTakeNoOperands)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXXX: nop; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1: halt;\n");
+    EXPECT_EQ(program.pes[0][0].op, Op::Nop);
+    EXPECT_EQ(program.pes[0][0].predSet, 1u);
+    EXPECT_EQ(program.pes[0][1].op, Op::Halt);
+}
+
+TEST(Assembler, StoreHasNoDestination)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXXX: ssw %r0, %r1;\n");
+    const Instruction &inst = program.pes[0][0];
+    EXPECT_EQ(inst.op, Op::Ssw);
+    EXPECT_EQ(inst.dst.type, DstType::None);
+    EXPECT_EQ(inst.srcs[0].type, SrcType::Reg);
+    EXPECT_EQ(inst.srcs[1].type, SrcType::Reg);
+}
+
+TEST(Assembler, DiagnosticsCarryLineNumbers)
+{
+    try {
+        assemble("when %p == XXXXXXXX: add %r0, %r1, %r2;\n"
+                 "when %p == XXXXXXXX: frob %r0, %r1, %r2;\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 2"), std::string::npos)
+            << err.what();
+        EXPECT_NE(std::string(err.what()).find("frob"), std::string::npos);
+    }
+}
+
+TEST(Assembler, RejectsBadPrograms)
+{
+    // Pattern of the wrong width.
+    EXPECT_THROW(assemble("when %p == XXXX: nop;\n"), FatalError);
+    // Unknown pattern character.
+    EXPECT_THROW(assemble("when %p == XXXXXXX2: nop;\n"), FatalError);
+    // Too many queue checks (MaxCheck = 2).
+    EXPECT_THROW(
+        assemble("when %p == XXXXXXXX with %i0.0, %i1.0, %i2.0: nop;\n"),
+        FatalError);
+    // Too many dequeues (MaxDeq = 2).
+    EXPECT_THROW(assemble("when %p == XXXXXXXX: nop; deq %i0, %i1, %i2;\n"),
+                 FatalError);
+    // Register index out of range.
+    EXPECT_THROW(assemble("when %p == XXXXXXXX: mov %r9, %r0;\n"),
+                 FatalError);
+    // Two immediates.
+    EXPECT_THROW(assemble("when %p == XXXXXXXX: add %r0, #1, #2;\n"),
+                 FatalError);
+    // Tag out of range (TagWidth = 2).
+    EXPECT_THROW(assemble("when %p == XXXXXXXX with %i0.5: nop;\n"),
+                 FatalError);
+    // Destination predicate conflicts with the update mask.
+    EXPECT_THROW(
+        assemble(
+            "when %p == XXXXXXXX: eq %p0, %r0, %r1; set %p = ZZZZZZZ1;\n"),
+        FatalError);
+    // Missing colon.
+    EXPECT_THROW(assemble("when %p == XXXXXXXX nop;\n"), FatalError);
+    // Too many instructions for one PE (NIns = 16).
+    std::string big;
+    for (int i = 0; i < 17; ++i)
+        big += "when %p == XXXXXXXX: nop;\n";
+    EXPECT_THROW(assemble(big), FatalError);
+}
+
+TEST(Assembler, ProgramToStringRoundTrip)
+{
+    const std::string source =
+        ".pe 0\n"
+        "when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; "
+        "set %p = ZZZZ0001;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX1: add %o0.2, %r1, #7; deq %i0; "
+        "set %p = ZZZZZZX0;\n";
+    const Program first = assemble(source);
+    const Program second = assemble(first.toString());
+    ASSERT_EQ(first.pes.size(), second.pes.size());
+    for (unsigned pe = 0; pe < first.pes.size(); ++pe)
+        EXPECT_EQ(first.pes[pe], second.pes[pe]) << "PE " << pe;
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Assembler robustness: random garbage and mutated programs must
+ * produce FatalError diagnostics (never crashes, hangs, or silently
+ * wrong programs).
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hh"
+#include "core/logging.hh"
+
+namespace tia {
+namespace {
+
+TEST(AssemblerFuzz, RandomBytesNeverCrash)
+{
+    std::mt19937 rng(42);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string source;
+        const unsigned length = rng() % 200;
+        for (unsigned i = 0; i < length; ++i)
+            source += static_cast<char>(rng() % 96 + 32);
+        try {
+            const Program program = assemble(source);
+            // Assembling garbage *may* succeed only if it happens to
+            // be valid; validate it then.
+            program.validate();
+        } catch (const FatalError &) {
+            // Expected for almost every input.
+        }
+    }
+    SUCCEED();
+}
+
+TEST(AssemblerFuzz, TokenSoupNeverCrashes)
+{
+    // Syntactically plausible fragments shuffled together.
+    const char *fragments[] = {
+        "when",  "%p",    "==",  "XXXXXXXX", ":",    "add",  "%r0",
+        ",",     "%i1",   "#42", ";",        "set",  "=",    "deq",
+        "%o2",   ".",     "1",   "halt",     "mov",  ".pe",  "0",
+        ".def",  "K",     "7",   "ZZZZZZZ1", "!",    "ult",  "%p7",
+        "'M'",   "nop",
+    };
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string source;
+        const unsigned count = rng() % 30;
+        for (unsigned i = 0; i < count; ++i) {
+            source += fragments[rng() % std::size(fragments)];
+            source += (rng() % 4 == 0) ? "\n" : " ";
+        }
+        try {
+            assemble(source);
+        } catch (const FatalError &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(AssemblerFuzz, SingleCharacterMutationsOfAValidProgram)
+{
+    const std::string valid =
+        "when %p == XXXX0000 with %i0.0, %i3.0: ult %p7, %i3, %i0; "
+        "deq %i0; set %p = ZZZZ0001;\n"
+        "when %p == XXXX0001: add %o1.2, %r3, #99; set %p = ZZZZ0000;\n";
+    ASSERT_NO_THROW(assemble(valid));
+
+    std::mt19937 rng(99);
+    static const char replacements[] = "xq%#;:.!=9Z ";
+    for (int trial = 0; trial < 400; ++trial) {
+        std::string mutated = valid;
+        mutated[rng() % mutated.size()] =
+            replacements[rng() % (std::size(replacements) - 1)];
+        try {
+            const Program program = assemble(mutated);
+            program.validate(); // if it parses, it must be coherent
+        } catch (const FatalError &) {
+        }
+    }
+    SUCCEED();
+}
+
+TEST(AssemblerFuzz, DeeplyNestedOrLongInputsTerminate)
+{
+    // Very long single-line programs and pathological whitespace.
+    std::string long_line = "when %p == XXXXXXXX: nop";
+    for (int i = 0; i < 10'000; ++i)
+        long_line += " ;";
+    EXPECT_NO_THROW(assemble(long_line + "\n"));
+
+    std::string many_comments;
+    for (int i = 0; i < 5'000; ++i)
+        many_comments += "// comment line\n";
+    many_comments += "when %p == XXXXXXXX: halt;\n";
+    EXPECT_NO_THROW(assemble(many_comments));
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PerfCounters / CpiStack arithmetic tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/counters.hh"
+
+namespace tia {
+namespace {
+
+PerfCounters
+sample()
+{
+    PerfCounters c;
+    c.cycles = 100;
+    c.retired = 50;
+    c.quashed = 5;
+    c.predicateHazard = 20;
+    c.dataHazard = 10;
+    c.forbidden = 5;
+    c.noTrigger = 10;
+    c.predicateWrites = 10;
+    c.predictions = 8;
+    c.mispredictions = 2;
+    return c;
+}
+
+TEST(Counters, CpiAndRates)
+{
+    const PerfCounters c = sample();
+    EXPECT_DOUBLE_EQ(c.cpi(), 2.0);
+    EXPECT_DOUBLE_EQ(c.predicateWriteRate(), 0.2);
+    EXPECT_DOUBLE_EQ(c.predictionAccuracy(), 0.75);
+}
+
+TEST(Counters, ZeroRetiredIsSafe)
+{
+    PerfCounters c;
+    c.cycles = 10;
+    EXPECT_DOUBLE_EQ(c.cpi(), 0.0);
+    EXPECT_DOUBLE_EQ(c.predicateWriteRate(), 0.0);
+    EXPECT_DOUBLE_EQ(c.predictionAccuracy(), 1.0);
+    const CpiStack stack = cpiStack(c);
+    EXPECT_DOUBLE_EQ(stack.total(), 0.0);
+}
+
+TEST(Counters, StackNormalizesByRetired)
+{
+    const CpiStack stack = cpiStack(sample());
+    EXPECT_DOUBLE_EQ(stack.retired, 1.0);
+    EXPECT_DOUBLE_EQ(stack.quashed, 0.1);
+    EXPECT_DOUBLE_EQ(stack.predicateHazard, 0.4);
+    EXPECT_DOUBLE_EQ(stack.dataHazard, 0.2);
+    EXPECT_DOUBLE_EQ(stack.forbidden, 0.1);
+    EXPECT_DOUBLE_EQ(stack.noTrigger, 0.2);
+    EXPECT_DOUBLE_EQ(stack.total(), 2.0); // == CPI
+}
+
+TEST(Counters, AccumulateAndAverage)
+{
+    PerfCounters total;
+    total += sample();
+    total += sample();
+    EXPECT_EQ(total.cycles, 200u);
+    EXPECT_EQ(total.retired, 100u);
+    EXPECT_DOUBLE_EQ(total.cpi(), 2.0);
+
+    CpiStack avg;
+    avg += cpiStack(sample());
+    avg += cpiStack(sample());
+    avg /= 2.0;
+    EXPECT_DOUBLE_EQ(avg.total(), 2.0);
+    EXPECT_DOUBLE_EQ(avg.retired, 1.0);
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Encode/decode round-trip tests for the Table 2 binary layout,
+ * including a randomized property sweep.
+ */
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hh"
+#include "core/encoding.hh"
+#include "core/logging.hh"
+
+namespace tia {
+namespace {
+
+Instruction
+sampleInstruction()
+{
+    Instruction inst;
+    inst.trigger.valid = true;
+    inst.trigger.predOn = 0b0000'0001;
+    inst.trigger.predOff = 0b1111'0000;
+    inst.trigger.queueChecks = {{0, 0, false}, {3, 2, true}};
+    inst.op = Op::Ult;
+    inst.srcs[0] = {SrcType::InputQueue, 3};
+    inst.srcs[1] = {SrcType::InputQueue, 0};
+    inst.dst = {DstType::Predicate, 7};
+    inst.dequeues = {0, 3};
+    inst.predSet = 0b0000'0001;
+    inst.predClear = 0b0000'0010;
+    inst.imm = 0xdeadbeef;
+    return inst;
+}
+
+TEST(Encoding, RoundTripSample)
+{
+    const ArchParams params;
+    const Instruction inst = sampleInstruction();
+    const MachineCode code = encode(params, inst);
+    EXPECT_EQ(code.size(), 4u); // 128 bits.
+    const Instruction decoded = decode(params, code);
+    EXPECT_EQ(decoded, inst);
+}
+
+TEST(Encoding, InvalidInstructionEncodesToZero)
+{
+    const ArchParams params;
+    Instruction invalid;
+    invalid.trigger.valid = false;
+    const MachineCode code = encode(params, invalid);
+    for (auto word : code)
+        EXPECT_EQ(word, 0u);
+    EXPECT_FALSE(decode(params, code).trigger.valid);
+}
+
+TEST(Encoding, PaddingBitsStayClear)
+{
+    // The 22 pad bits above bit 105 must never be set.
+    const ArchParams params;
+    Instruction inst = sampleInstruction();
+    inst.imm = 0xffffffff;
+    inst.trigger.predOn = 0xff;
+    inst.trigger.predOff = 0;
+    const MachineCode code = encode(params, inst);
+    // Bits 106..127 live in word 3 bits 10..31.
+    EXPECT_EQ(code[3] >> 10, 0u);
+}
+
+TEST(Encoding, RejectsWrongLength)
+{
+    const ArchParams params;
+    EXPECT_THROW(decode(params, MachineCode(3, 0)), FatalError);
+    EXPECT_THROW(decode(params, MachineCode(5, 0)), FatalError);
+}
+
+TEST(Encoding, StoreRoundTripPadsWithInvalid)
+{
+    const ArchParams params;
+    std::vector<Instruction> insts = {sampleInstruction()};
+    const MachineCode store = encodeStore(params, insts);
+    EXPECT_EQ(store.size(), 4u * params.numInstructions);
+    const auto decoded = decodeStore(params, store);
+    ASSERT_EQ(decoded.size(), params.numInstructions);
+    EXPECT_EQ(decoded[0], insts[0]);
+    for (unsigned i = 1; i < params.numInstructions; ++i)
+        EXPECT_FALSE(decoded[i].trigger.valid);
+}
+
+TEST(Encoding, StoreRejectsOversizedProgram)
+{
+    const ArchParams params;
+    std::vector<Instruction> insts(params.numInstructions + 1,
+                                   sampleInstruction());
+    EXPECT_THROW(encodeStore(params, insts), FatalError);
+}
+
+/** Generate a random valid instruction under @p params. */
+Instruction
+randomInstruction(std::mt19937 &rng, const ArchParams &params)
+{
+    auto pick = [&](unsigned bound) {
+        return std::uniform_int_distribution<unsigned>(0, bound - 1)(rng);
+    };
+
+    Instruction inst;
+    inst.trigger.valid = true;
+    const std::uint64_t mask = (std::uint64_t{1} << params.numPreds) - 1;
+    inst.trigger.predOn = rng() & mask;
+    inst.trigger.predOff = rng() & mask & ~inst.trigger.predOn;
+
+    const unsigned num_checks = pick(params.maxCheck + 1);
+    std::vector<unsigned> queues;
+    for (unsigned q = 0; q < params.numInputQueues; ++q)
+        queues.push_back(q);
+    std::shuffle(queues.begin(), queues.end(), rng);
+    for (unsigned c = 0; c < num_checks; ++c) {
+        inst.trigger.queueChecks.push_back(
+            {static_cast<std::uint8_t>(queues[c]),
+             static_cast<Tag>(pick(params.maxTag() + 1)), rng() % 2 == 0});
+    }
+
+    // Pick an op with a plain register/immediate-friendly signature.
+    for (;;) {
+        const Op op = static_cast<Op>(pick(params.numOps));
+        const OpInfo &info = opInfo(op);
+        inst.op = op;
+        bool used_imm = false;
+        for (unsigned s = 0; s < 2; ++s) {
+            if (s >= info.numSrcs) {
+                inst.srcs[s] = {SrcType::None, 0};
+                continue;
+            }
+            switch (pick(used_imm ? 2 : 3)) {
+              case 0:
+                inst.srcs[s] = {SrcType::Reg,
+                                static_cast<std::uint8_t>(
+                                    pick(params.numRegs))};
+                break;
+              case 1:
+                inst.srcs[s] = {SrcType::InputQueue,
+                                static_cast<std::uint8_t>(
+                                    pick(params.numInputQueues))};
+                break;
+              default:
+                inst.srcs[s] = {SrcType::Immediate, 0};
+                used_imm = true;
+                break;
+            }
+        }
+        if (info.hasResult) {
+            switch (pick(3)) {
+              case 0:
+                inst.dst = {DstType::Reg, static_cast<std::uint8_t>(
+                                              pick(params.numRegs))};
+                break;
+              case 1:
+                inst.dst = {DstType::OutputQueue,
+                            static_cast<std::uint8_t>(
+                                pick(params.numOutputQueues))};
+                inst.outTag = static_cast<Tag>(pick(params.maxTag() + 1));
+                break;
+              default:
+                inst.dst = {DstType::Predicate,
+                            static_cast<std::uint8_t>(pick(params.numPreds))};
+                break;
+            }
+        } else {
+            inst.dst = {DstType::None, 0};
+        }
+        break;
+    }
+
+    const unsigned num_deq = pick(params.maxDeq + 1);
+    std::shuffle(queues.begin(), queues.end(), rng);
+    for (unsigned d = 0; d < num_deq; ++d)
+        inst.dequeues.push_back(static_cast<std::uint8_t>(queues[d]));
+
+    inst.predSet = rng() & mask;
+    inst.predClear = rng() & mask & ~inst.predSet;
+    if (inst.dst.type == DstType::Predicate) {
+        const std::uint64_t dst_bit = std::uint64_t{1} << inst.dst.index;
+        inst.predSet &= ~dst_bit;
+        inst.predClear &= ~dst_bit;
+    }
+    inst.imm = rng();
+    return inst;
+}
+
+class EncodingProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingProperty, RandomRoundTrip)
+{
+    ArchParams params;
+    std::mt19937 rng(GetParam());
+    // Vary the architecture too: a few parameter points per seed.
+    switch (GetParam() % 4) {
+      case 1:
+        params.numRegs = 16;
+        params.tagWidth = 3;
+        break;
+      case 2:
+        params.numPreds = 4;
+        params.numInputQueues = 2;
+        params.numOutputQueues = 2;
+        params.maxCheck = 2;
+        params.maxDeq = 2;
+        break;
+      case 3:
+        params.maxCheck = 4;
+        params.maxDeq = 4;
+        break;
+      default:
+        break;
+    }
+    params.validate();
+    for (unsigned trial = 0; trial < 200; ++trial) {
+        const Instruction inst = randomInstruction(rng, params);
+        ASSERT_NO_THROW(inst.validate(params));
+        const MachineCode code = encode(params, inst);
+        const Instruction decoded = decode(params, code);
+        EXPECT_EQ(decoded, inst) << inst.toString(params);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodingProperty,
+                         ::testing::Range(0u, 8u));
+
+TEST(Encoding, DisassembleReassembleRoundTrip)
+{
+    // toString must produce assembly that reassembles to the same
+    // instruction.
+    const ArchParams params;
+    std::mt19937 rng(1234);
+    for (unsigned trial = 0; trial < 100; ++trial) {
+        Instruction inst = randomInstruction(rng, params);
+        // The immediate is only rendered when a source references it.
+        if (inst.srcs[0].type != SrcType::Immediate &&
+            inst.srcs[1].type != SrcType::Immediate) {
+            inst.imm = 0;
+        }
+        const std::string text = inst.toString(params);
+        Program program;
+        ASSERT_NO_THROW(program = assemble(text, params)) << text;
+        ASSERT_EQ(program.pes.size(), 1u);
+        ASSERT_EQ(program.pes[0].size(), 1u);
+        EXPECT_EQ(program.pes[0][0], inst) << text;
+    }
+}
+
+} // namespace
+} // namespace tia

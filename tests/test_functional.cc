@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Functional-simulator tests: trigger semantics, queues, memory ports.
+ *
+ * Trigger patterns are written so that machine states are disjoint:
+ * because triggers are priority-ordered and re-evaluated every step, a
+ * state that remains eligible after firing would spin forever.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/assembler.hh"
+#include "sim/functional.hh"
+
+namespace tia {
+namespace {
+
+/** A single-PE fabric with a read port (out0/in0) + write port (out1/out2). */
+FabricConfig
+singlePeConfig(const ArchParams &params = ArchParams{})
+{
+    FabricBuilder builder(params, 1);
+    builder.addReadPort(0, 0, 0);  // %o0 = load address, %i0 = load data
+    builder.addWritePort(0, 1, 2); // %o1 = store address, %o2 = store data
+    builder.setMemoryWords(4096);
+    return builder.build();
+}
+
+TEST(Functional, CountUpLoop)
+{
+    // Count %r0 from 0 to 10 (p1 = "done" from the comparison), then
+    // store the result to memory[100] and halt.
+    const Program program = assemble(
+        "when %p == XXXXXX00: add %r0, %r0, #1; set %p = ZZZZZZ01;\n"
+        "when %p == XXXXXX01: uge %p1, %r0, #10; set %p = ZZZZZZX0;\n"
+        "when %p == XXXXX010: mov %o1.0, #100; set %p = ZZZZZ110;\n"
+        "when %p == XXXX0110: mov %o2.0, %r0; set %p = ZZZZ1110;\n"
+        "when %p == XXXX1110: halt;\n");
+    FunctionalFabric fabric(singlePeConfig(), program);
+    const RunStatus status = fabric.run();
+    EXPECT_EQ(status, RunStatus::Halted);
+    EXPECT_EQ(fabric.memory().read(100), 10u);
+    EXPECT_TRUE(fabric.pe(0).halted());
+    // (add + uge) x 10 iterations, plus two moves and the halt.
+    EXPECT_EQ(fabric.pe(0).dynamicInstructions(), 23u);
+    EXPECT_EQ(fabric.pe(0).predicateWrites(), 10u);
+}
+
+TEST(Functional, PriorityOrderBreaksTies)
+{
+    // Two always-eligible instructions: the first must win.
+    const Program program = assemble(
+        "when %p == XXXXXXX0: add %r0, %r0, #1; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX0: add %r1, %r1, #1; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1: halt;\n");
+    FunctionalFabric fabric(singlePeConfig(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.pe(0).regs()[0], 1u);
+    EXPECT_EQ(fabric.pe(0).regs()[1], 0u);
+}
+
+TEST(Functional, TagMatchingGatesTriggers)
+{
+    // PE 0 sends tag-1 then tag-0 tokens; PE 1 routes by tag.
+    const Program program = assemble(
+        ".pe 0\n"
+        "when %p == XXXXXXX0: mov %o0.1, #111; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXX01: mov %o0.0, #222; set %p = ZZZZZZ1Z;\n"
+        "when %p == XXXXXX11: halt;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX0 with %i0.0: mov %r0, %i0; deq %i0; "
+        "set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXX0X with %i0.1: mov %r1, %i0; deq %i0; "
+        "set %p = ZZZZZZ1Z;\n"
+        "when %p == XXXXXX11: halt;\n");
+
+    FabricBuilder builder(ArchParams{}, 2);
+    builder.connect(0, 0, 1, 0);
+    FunctionalFabric fabric(builder.build(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.pe(1).regs()[0], 222u);
+    EXPECT_EQ(fabric.pe(1).regs()[1], 111u);
+}
+
+TEST(Functional, NegatedTagCheckStopsAtSentinel)
+{
+    // PE 0 streams three values with tag 0 and a sentinel with tag 1;
+    // PE 1 accumulates while the head is NOT tag 1.
+    const Program program = assemble(
+        ".pe 0\n"
+        "when %p == XXXXX000: mov %o0.0, #5; set %p = ZZZZZ001;\n"
+        "when %p == XXXXX001: mov %o0.0, #6; set %p = ZZZZZ010;\n"
+        "when %p == XXXXX010: mov %o0.0, #7; set %p = ZZZZZ011;\n"
+        "when %p == XXXXX011: mov %o0.1, #0; set %p = ZZZZZ100;\n"
+        "when %p == XXXXX100: halt;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX0 with %i0.!1: add %r0, %r0, %i0; deq %i0;\n"
+        "when %p == XXXXXXX0 with %i0.1: nop; deq %i0; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1: halt;\n");
+
+    FabricBuilder builder(ArchParams{}, 2);
+    builder.connect(0, 0, 1, 0);
+    FunctionalFabric fabric(builder.build(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.pe(1).regs()[0], 18u);
+}
+
+TEST(Functional, MemoryRoundTrip)
+{
+    // Load memory[7], add 1, store to memory[8].
+    const Program program = assemble(
+        "when %p == XXXXXX00: mov %o0.0, #7; set %p = ZZZZZZ01;\n"
+        "when %p == XXXXXX01 with %i0.0: add %r0, %i0, #1; deq %i0; "
+        "set %p = ZZZZZZ10;\n"
+        "when %p == XXXXXX10: mov %o1.0, #8; set %p = ZZZZZZ11;\n"
+        "when %p == XXXXX011: mov %o2.0, %r0; set %p = ZZZZZ1XX;\n"
+        "when %p == XXXXX1XX: halt;\n");
+    FunctionalFabric fabric(singlePeConfig(), program);
+    fabric.memory().write(7, 41);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.memory().read(8), 42u);
+}
+
+TEST(Functional, ScratchpadLoadStore)
+{
+    const Program program = assemble(
+        "when %p == XXXXXX00: ssw %r0, #99; set %p = ZZZZZZ01;\n"
+        "when %p == XXXXXX01: lsw %r1, %r0, #0; set %p = ZZZZZZ10;\n"
+        "when %p == XXXXXX10: mov %o1.0, #0; set %p = ZZZZZZ11;\n"
+        "when %p == XXXXX011: mov %o2.0, %r1; set %p = ZZZZZ1XX;\n"
+        "when %p == XXXXX1XX: halt;\n");
+    FunctionalFabric fabric(singlePeConfig(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.memory().read(0), 99u);
+}
+
+TEST(Functional, BlockedFabricReportsQuiescent)
+{
+    // A PE waiting forever on an input that never arrives.
+    const Program program = assemble(
+        ".pe 0\n"
+        "when %p == XXXXXXXX with %i0.0: mov %r0, %i0; deq %i0;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX1: mov %o0.0, #1;\n"); // never fires (p0 = 0)
+    FabricBuilder builder(ArchParams{}, 2);
+    builder.connect(1, 0, 0, 0);
+    FunctionalFabric fabric(builder.build(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Quiescent);
+}
+
+TEST(Functional, BackpressureBoundsQueueDepth)
+{
+    // Producer free-runs into a consumer that never dequeues; the
+    // producer must stop at queue capacity rather than overflow.
+    const ArchParams params;
+    const Program program = assemble(
+        ".pe 0\n"
+        "when %p == XXXXXXXX: mov %o0.0, #1;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX1: mov %r0, %i0;\n"); // p0 never set
+    FabricBuilder builder(params, 2);
+    builder.connect(0, 0, 1, 0);
+    FunctionalFabric fabric(builder.build(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Quiescent);
+    EXPECT_EQ(fabric.pe(0).dynamicInstructions(), params.queueCapacity);
+}
+
+TEST(Functional, InitialRegistersAndPredicates)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXX1: add %o1.0, %r3, #0; set %p = ZZZZZZ10;\n"
+        "when %p == XXXXX010: mov %o2.0, %r4; set %p = ZZZZZ1XX;\n"
+        "when %p == XXXXX1XX: halt;\n");
+    FabricBuilder builder(ArchParams{}, 1);
+    builder.addReadPort(0, 0, 0);
+    builder.addWritePort(0, 1, 2);
+    builder.setInitialRegs(0, {0, 0, 0, 55, 77});
+    builder.setInitialPreds(0, 1);
+    FunctionalFabric fabric(builder.build(), program);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.memory().read(55), 77u);
+}
+
+TEST(Functional, ReadPortEchoesRequestTag)
+{
+    // Request with tag 2; the response must carry tag 2.
+    const Program program = assemble(
+        "when %p == XXXXXX00: mov %o0.2, #5; set %p = ZZZZZZ01;\n"
+        "when %p == XXXXXX01 with %i0.2: mov %r0, %i0; deq %i0; "
+        "set %p = ZZZZZZ10;\n"
+        "when %p == XXXXX010: halt;\n");
+    FunctionalFabric fabric(singlePeConfig(), program);
+    fabric.memory().write(5, 1234);
+    EXPECT_EQ(fabric.run(), RunStatus::Halted);
+    EXPECT_EQ(fabric.pe(0).regs()[0], 1234u);
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Two-bit saturating predicate predictor tests (paper Section 5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/predictor.hh"
+
+namespace tia {
+namespace {
+
+TEST(Predictor, StartsWeaklyTaken)
+{
+    PredicatePredictor p(8);
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_EQ(p.counter(i), PredicatePredictor::kWeaklyTaken);
+        EXPECT_TRUE(p.predict(i));
+    }
+}
+
+TEST(Predictor, SaturatesUp)
+{
+    PredicatePredictor p(1);
+    for (int i = 0; i < 10; ++i)
+        p.train(0, true);
+    EXPECT_EQ(p.counter(0), PredicatePredictor::kStronglyTaken);
+    EXPECT_TRUE(p.predict(0));
+}
+
+TEST(Predictor, SaturatesDown)
+{
+    PredicatePredictor p(1);
+    for (int i = 0; i < 10; ++i)
+        p.train(0, false);
+    EXPECT_EQ(p.counter(0), PredicatePredictor::kStronglyNotTaken);
+    EXPECT_FALSE(p.predict(0));
+}
+
+TEST(Predictor, HysteresisSurvivesOneFlip)
+{
+    // The classic property: a single anomalous outcome inside a biased
+    // stream does not flip a saturated prediction.
+    PredicatePredictor p(1);
+    for (int i = 0; i < 4; ++i)
+        p.train(0, true);
+    p.train(0, false);
+    EXPECT_TRUE(p.predict(0));
+    p.train(0, false);
+    EXPECT_FALSE(p.predict(0));
+}
+
+TEST(Predictor, PerPredicateIndependence)
+{
+    // Figure 4's "per-branch predictor without the indexing overhead":
+    // each predicate trains independently.
+    PredicatePredictor p(4);
+    for (int i = 0; i < 4; ++i) {
+        p.train(0, true);
+        p.train(1, false);
+    }
+    EXPECT_TRUE(p.predict(0));
+    EXPECT_FALSE(p.predict(1));
+    EXPECT_TRUE(p.predict(2)); // untouched keeps its reset bias
+}
+
+TEST(Predictor, AlternatingPatternIsWrongHalfTheTime)
+{
+    PredicatePredictor p(1);
+    unsigned wrong = 0;
+    bool outcome = true;
+    for (int i = 0; i < 1000; ++i) {
+        if (p.predict(0) != outcome)
+            ++wrong;
+        p.train(0, outcome);
+        outcome = !outcome;
+    }
+    EXPECT_NEAR(static_cast<double>(wrong) / 1000.0, 0.5, 0.05);
+}
+
+TEST(Predictor, ResetRestoresBias)
+{
+    PredicatePredictor p(2);
+    p.train(0, false);
+    p.train(0, false);
+    p.reset();
+    EXPECT_EQ(p.counter(0), PredicatePredictor::kWeaklyTaken);
+}
+
+TEST(Predictor, OutOfRangeIndexThrows)
+{
+    PredicatePredictor p(2);
+    EXPECT_ANY_THROW(p.predict(2));
+    EXPECT_ANY_THROW(p.train(5, true));
+}
+
+} // namespace
+} // namespace tia

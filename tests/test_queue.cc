@@ -1,0 +1,127 @@
+/**
+ * @file
+ * TaggedQueue unit tests: FIFO order, deep peek, capacity enforcement,
+ * and the cycle-start snapshot / deferred-push discipline the
+ * cycle-accurate fabric relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/queue.hh"
+
+namespace tia {
+namespace {
+
+TEST(Queue, FifoOrderAndTags)
+{
+    TaggedQueue q(4);
+    q.pushImmediate({10, 0});
+    q.pushImmediate({20, 1});
+    q.pushImmediate({30, 2});
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), (Token{10, 0}));
+    EXPECT_EQ(q.pop(), (Token{20, 1}));
+    EXPECT_EQ(q.pop(), (Token{30, 2}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, PeekHeadAndNeck)
+{
+    // Section 5.3: effective queue status must expose "the head and
+    // neck" for tag checks past in-flight dequeues.
+    TaggedQueue q(4);
+    q.pushImmediate({1, 3});
+    q.pushImmediate({2, 1});
+    ASSERT_TRUE(q.peek(0).has_value());
+    EXPECT_EQ(q.peek(0)->tag, 3u);
+    ASSERT_TRUE(q.peek(1).has_value());
+    EXPECT_EQ(q.peek(1)->tag, 1u);
+    EXPECT_FALSE(q.peek(2).has_value());
+}
+
+TEST(Queue, DeferredPushesBecomeVisibleAtCommit)
+{
+    TaggedQueue q(4);
+    q.beginCycle();
+    q.push({42, 0});
+    EXPECT_EQ(q.size(), 0u); // not yet visible
+    EXPECT_TRUE(q.hasPendingPush());
+    EXPECT_EQ(q.pendingPushes(), 1u);
+    q.commit();
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_FALSE(q.hasPendingPush());
+    EXPECT_EQ(q.peek(0)->data, 42u);
+}
+
+TEST(Queue, SnapshotFreezesOccupancyAtCycleStart)
+{
+    TaggedQueue q(4);
+    q.pushImmediate({1, 0});
+    q.pushImmediate({2, 0});
+    q.beginCycle();
+    EXPECT_EQ(q.snapshotSize(), 2u);
+    q.pop();
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.snapshotSize(), 2u); // unchanged mid-cycle
+    q.push({3, 0});
+    EXPECT_EQ(q.snapshotSize(), 2u);
+    q.commit();
+    q.beginCycle();
+    EXPECT_EQ(q.snapshotSize(), 2u); // 1 left + 1 committed
+}
+
+TEST(Queue, PopsThisCycleResetAtBeginCycle)
+{
+    TaggedQueue q(4);
+    q.pushImmediate({1, 0});
+    q.pushImmediate({2, 0});
+    q.beginCycle();
+    EXPECT_EQ(q.popsThisCycle(), 0u);
+    q.pop();
+    EXPECT_EQ(q.popsThisCycle(), 1u);
+    q.pop();
+    EXPECT_EQ(q.popsThisCycle(), 2u);
+    q.beginCycle();
+    EXPECT_EQ(q.popsThisCycle(), 0u);
+}
+
+TEST(Queue, CapacityIncludesPendingPushes)
+{
+    TaggedQueue q(2);
+    q.beginCycle();
+    q.push({1, 0});
+    q.push({2, 0});
+    // A third push would exceed capacity even though nothing is
+    // committed yet: the hazard checks upstream must prevent this.
+    EXPECT_ANY_THROW(q.push({3, 0}));
+    q.commit();
+    EXPECT_ANY_THROW(q.pushImmediate({4, 0}));
+}
+
+TEST(Queue, PopFromEmptyPanics)
+{
+    TaggedQueue q(2);
+    EXPECT_ANY_THROW(q.pop());
+}
+
+TEST(Queue, ZeroCapacityRejected)
+{
+    EXPECT_ANY_THROW(TaggedQueue(0));
+}
+
+TEST(Queue, TotalsCountLifetimeTraffic)
+{
+    TaggedQueue q(2);
+    q.beginCycle();
+    for (int round = 0; round < 5; ++round) {
+        q.push({static_cast<Word>(round), 0});
+        q.commit();
+        q.beginCycle();
+        q.pop();
+    }
+    EXPECT_EQ(q.totalPushes(), 5u);
+    EXPECT_EQ(q.totalPops(), 5u);
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Instruction-storage alternatives in the VLSI model (paper Section 4:
+ * register, latch, and mixed register/latch-SRAM organizations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "vlsi/area_power.hh"
+
+namespace tia {
+namespace {
+
+const PeConfig kTdx{PipelineShape{false, false, false}, false, false};
+const PeConfig kSplit{PipelineShape{true, false, false}, false, false};
+
+ImplementationOptions
+with(InstructionStorage storage)
+{
+    ImplementationOptions opts;
+    opts.instructionStorage = storage;
+    return opts;
+}
+
+TEST(Storage, MixedSramSavesSixteenAndTwentyFourPercentOfTheStore)
+{
+    // Section 4: "we can reduce instruction memory area and power
+    // usage by 16% and 24%, respectively, over register-only
+    // instruction memory".
+    AreaPowerModel model;
+    const double base_area = model.areaUm2(kSplit);
+    const double mixed_area =
+        model.areaUm2(kSplit, with(InstructionStorage::MixedRegisterSram));
+    const double store_area =
+        base_area * AreaPowerModel::kInsMemAreaFraction;
+    EXPECT_NEAR((base_area - mixed_area) / store_area, 0.16, 1e-9);
+
+    const double base_power = model.calibrationPowerMw(kSplit);
+    const double mixed_power = model.calibrationPowerMw(
+        kSplit, with(InstructionStorage::MixedRegisterSram));
+    const double store_power = AreaPowerModel::kLogicEnergyPj * 500.0 *
+                               1e-3 *
+                               AreaPowerModel::kInsMemPowerFraction;
+    // (the small excess over 0.24 is the shrunken store's leakage)
+    EXPECT_NEAR((base_power - mixed_power) / store_power, 0.24, 0.01);
+}
+
+TEST(Storage, MixedSramRequiresTriggerDecodeSplit)
+{
+    // "so long as the design is pipelined such that the stage in which
+    // instructions are triggered is separate from the stage in which
+    // those fields are decoded" — TDX and TD|X cannot use it.
+    AreaPowerModel model;
+    EXPECT_ANY_THROW(
+        model.areaUm2(kTdx, with(InstructionStorage::MixedRegisterSram)));
+    const PeConfig td_x{PipelineShape{false, true, false}, false, false};
+    EXPECT_ANY_THROW(model.areaUm2(
+        td_x, with(InstructionStorage::MixedRegisterSram)));
+    EXPECT_NO_THROW(model.areaUm2(
+        kSplit, with(InstructionStorage::MixedRegisterSram)));
+}
+
+TEST(Storage, LatchesSaveMoreButAreAllowedAnywhere)
+{
+    // Latches shrink the store by ~30% area / 75% power (the paper
+    // rejected them for timing, which our FO4 model keeps out of
+    // scope for storage media).
+    AreaPowerModel model;
+    const double base_area = model.areaUm2(kTdx);
+    const double latch_area =
+        model.areaUm2(kTdx, with(InstructionStorage::Latch));
+    EXPECT_LT(latch_area, base_area);
+    const double mixed_saving =
+        model.areaUm2(kSplit) -
+        model.areaUm2(kSplit, with(InstructionStorage::MixedRegisterSram));
+    EXPECT_GT(base_area - latch_area, mixed_saving);
+
+    EXPECT_LT(model.calibrationPowerMw(
+                  kTdx, with(InstructionStorage::Latch)),
+              model.calibrationPowerMw(kTdx));
+}
+
+TEST(Storage, DefaultIsClockGatedRegisters)
+{
+    AreaPowerModel model;
+    EXPECT_EQ(model.areaUm2(kTdx, {}), model.areaUm2(kTdx));
+    EXPECT_NEAR(model.areaUm2(kTdx), 64'435.0, 1e-6);
+}
+
+} // namespace
+} // namespace tia

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * tia-sim: command-line simulator, the C++ counterpart of the paper
+ * toolchain's functional ISA simulator plus the cycle-accurate
+ * microarchitecture models.
+ *
+ *   tia-sim prog.s [options]
+ *
+ * Options:
+ *   -p FILE            parameter file (Table 1 keys)
+ *   -u NAME            microarchitecture ("functional" by default;
+ *                      e.g. "TDX", "T|DX +P+Q", "T|D|X1|X2 +P+N+Q")
+ *   --pes N            fabric size (default: as many PEs as the
+ *                      program targets)
+ *   --connect A.O:B.I  wire PE A output O to PE B input I (repeat)
+ *   --read-port P.A.D  memory read port on PE P (addr out A, data in D)
+ *   --write-port P.A.D memory write port on PE P (addr out A, data out D)
+ *   --reg P.R=V        preload register R of PE P with V
+ *   --mem A=V          preload memory word A with V (repeat)
+ *   --dump A[:N]       print N (default 1) memory words from A after
+ *                      the run (repeat)
+ *   --max-cycles N     simulation budget (default 100,000,000)
+ *
+ * Single-PE programs with no wiring options get the conventional port
+ * map automatically: read port on %o0/%i0, write port on %o1/%o2.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/assembler.hh"
+#include "core/logging.hh"
+#include "sim/functional.hh"
+#include "uarch/cycle_fabric.hh"
+
+namespace {
+
+using namespace tia;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Split "12.3:4.5"-style argument forms on the given separators. */
+std::vector<unsigned long>
+numbers(const std::string &text, const std::string &separators)
+{
+    std::vector<unsigned long> values;
+    std::string current;
+    auto flush = [&] {
+        fatalIf(current.empty(), "malformed option argument \"", text,
+                "\"");
+        values.push_back(std::stoul(current, nullptr, 0));
+        current.clear();
+    };
+    for (char c : text) {
+        if (separators.find(c) != std::string::npos) {
+            flush();
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return values;
+}
+
+struct Options
+{
+    std::string program;
+    std::string paramsPath;
+    std::string uarch = "functional";
+    unsigned pes = 0;
+    std::vector<std::array<unsigned long, 4>> connects;
+    std::vector<std::array<unsigned long, 3>> readPorts;
+    std::vector<std::array<unsigned long, 3>> writePorts;
+    std::vector<std::array<unsigned long, 3>> regs;
+    std::vector<std::array<unsigned long, 2>> mems;
+    std::vector<std::array<unsigned long, 2>> dumps;
+    std::uint64_t maxCycles = 100'000'000;
+};
+
+void
+printCounters(const char *label, const PerfCounters &c)
+{
+    std::printf("%s: cycles %llu, retired %llu, CPI %.3f\n", label,
+                static_cast<unsigned long long>(c.cycles),
+                static_cast<unsigned long long>(c.retired), c.cpi());
+    std::printf("  quashed %llu, predicate-hazard %llu, data-hazard "
+                "%llu, forbidden %llu, no-trigger %llu\n",
+                static_cast<unsigned long long>(c.quashed),
+                static_cast<unsigned long long>(c.predicateHazard),
+                static_cast<unsigned long long>(c.dataHazard),
+                static_cast<unsigned long long>(c.forbidden),
+                static_cast<unsigned long long>(c.noTrigger));
+    if (c.predictions > 0) {
+        std::printf("  predictions %llu (%.1f%% accurate)\n",
+                    static_cast<unsigned long long>(c.predictions),
+                    c.predictionAccuracy() * 100.0);
+    }
+}
+
+int
+run(const Options &opt)
+{
+    ArchParams params;
+    if (!opt.paramsPath.empty())
+        params = parseParams(readFile(opt.paramsPath));
+    const Program program = assemble(readFile(opt.program), params);
+
+    const unsigned pes = opt.pes ? opt.pes : program.numPes();
+    FabricBuilder builder(params, pes);
+    const bool default_ports = opt.connects.empty() &&
+                               opt.readPorts.empty() &&
+                               opt.writePorts.empty();
+    if (default_ports && pes == 1) {
+        builder.addReadPort(0, 0, 0);
+        builder.addWritePort(0, 1, 2);
+    }
+    for (const auto &c : opt.connects) {
+        builder.connect(static_cast<unsigned>(c[0]),
+                        static_cast<unsigned>(c[1]),
+                        static_cast<unsigned>(c[2]),
+                        static_cast<unsigned>(c[3]));
+    }
+    for (const auto &r : opt.readPorts) {
+        builder.addReadPort(static_cast<unsigned>(r[0]),
+                            static_cast<unsigned>(r[1]),
+                            static_cast<unsigned>(r[2]));
+    }
+    for (const auto &w : opt.writePorts) {
+        builder.addWritePort(static_cast<unsigned>(w[0]),
+                             static_cast<unsigned>(w[1]),
+                             static_cast<unsigned>(w[2]));
+    }
+    std::vector<std::vector<Word>> reg_files(pes);
+    for (const auto &r : opt.regs) {
+        auto &file = reg_files.at(r[0]);
+        if (file.size() <= r[1])
+            file.resize(r[1] + 1, 0);
+        file[r[1]] = static_cast<Word>(r[2]);
+    }
+    for (unsigned pe = 0; pe < pes; ++pe) {
+        if (!reg_files[pe].empty())
+            builder.setInitialRegs(pe, reg_files[pe]);
+    }
+    const FabricConfig config = builder.build();
+
+    auto preload = [&](Memory &memory) {
+        for (const auto &m : opt.mems)
+            memory.write(static_cast<Word>(m[0]),
+                         static_cast<Word>(m[1]));
+    };
+    auto dump = [&](const Memory &memory) {
+        for (const auto &d : opt.dumps) {
+            const unsigned long count = d[1] ? d[1] : 1;
+            for (unsigned long i = 0; i < count; ++i) {
+                const Word addr = static_cast<Word>(d[0] + i);
+                std::printf("mem[%u] = %u (0x%08x)\n", addr,
+                            memory.read(addr), memory.read(addr));
+            }
+        }
+    };
+    auto status_name = [](RunStatus status) {
+        switch (status) {
+          case RunStatus::Halted:
+            return "halted";
+          case RunStatus::Quiescent:
+            return "quiescent (possible deadlock)";
+          case RunStatus::StepLimit:
+            return "step limit reached";
+        }
+        return "?";
+    };
+
+    if (opt.uarch == "functional") {
+        FunctionalFabric fabric(config, program);
+        preload(fabric.memory());
+        const RunStatus status = fabric.run(opt.maxCycles);
+        std::printf("functional simulation: %s\n", status_name(status));
+        for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+            std::printf("PE %u: %llu instructions%s\n", pe,
+                        static_cast<unsigned long long>(
+                            fabric.pe(pe).dynamicInstructions()),
+                        fabric.pe(pe).halted() ? " (halted)" : "");
+        }
+        dump(fabric.memory());
+        return status == RunStatus::Halted ? 0 : 3;
+    }
+
+    const auto uarch = parseConfigName(opt.uarch);
+    fatalIf(!uarch.has_value(), "unknown microarchitecture \"",
+            opt.uarch, "\" (try e.g. \"TDX\" or \"T|DX +P+Q\")");
+    CycleFabric fabric(config, program, *uarch);
+    preload(fabric.memory());
+    const RunStatus status = fabric.run(opt.maxCycles);
+    std::printf("%s simulation: %s after %llu cycles\n",
+                uarch->name().c_str(), status_name(status),
+                static_cast<unsigned long long>(fabric.now()));
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+        std::string label = "PE " + std::to_string(pe);
+        printCounters(label.c_str(), fabric.pe(pe).counters());
+    }
+    dump(fabric.memory());
+    return status == RunStatus::Halted ? 0 : 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                fatalIf(i + 1 >= argc, arg, " needs an argument");
+                return argv[++i];
+            };
+            if (arg == "-p") {
+                opt.paramsPath = next();
+            } else if (arg == "-u") {
+                opt.uarch = next();
+            } else if (arg == "--pes") {
+                opt.pes = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--connect") {
+                const auto v = numbers(next(), ".:");
+                fatalIf(v.size() != 4, "--connect wants A.O:B.I");
+                opt.connects.push_back({v[0], v[1], v[2], v[3]});
+            } else if (arg == "--read-port") {
+                const auto v = numbers(next(), ".");
+                fatalIf(v.size() != 3, "--read-port wants P.A.D");
+                opt.readPorts.push_back({v[0], v[1], v[2]});
+            } else if (arg == "--write-port") {
+                const auto v = numbers(next(), ".");
+                fatalIf(v.size() != 3, "--write-port wants P.A.D");
+                opt.writePorts.push_back({v[0], v[1], v[2]});
+            } else if (arg == "--reg") {
+                const auto v = numbers(next(), ".=");
+                fatalIf(v.size() != 3, "--reg wants P.R=V");
+                opt.regs.push_back({v[0], v[1], v[2]});
+            } else if (arg == "--mem") {
+                const auto v = numbers(next(), "=");
+                fatalIf(v.size() != 2, "--mem wants A=V");
+                opt.mems.push_back({v[0], v[1]});
+            } else if (arg == "--dump") {
+                const auto v = numbers(next(), ":");
+                fatalIf(v.empty() || v.size() > 2, "--dump wants A[:N]");
+                opt.dumps.push_back({v[0], v.size() > 1 ? v[1] : 1});
+            } else if (arg == "--max-cycles") {
+                opt.maxCycles = std::stoull(next());
+            } else if (!arg.empty() && arg[0] != '-' &&
+                       opt.program.empty()) {
+                opt.program = arg;
+            } else {
+                std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+                return 2;
+            }
+        }
+        tia::fatalIf(opt.program.empty(), "no program given");
+        return run(opt);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "tia-sim: %s\n", error.what());
+        return 1;
+    }
+}
