@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablations"
+  "../bench/bench_ablations.pdb"
+  "CMakeFiles/bench_ablations.dir/bench_ablations.cc.o"
+  "CMakeFiles/bench_ablations.dir/bench_ablations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_nested_speculation"
+  "../bench/bench_ext_nested_speculation.pdb"
+  "CMakeFiles/bench_ext_nested_speculation.dir/bench_ext_nested_speculation.cc.o"
+  "CMakeFiles/bench_ext_nested_speculation.dir/bench_ext_nested_speculation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nested_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

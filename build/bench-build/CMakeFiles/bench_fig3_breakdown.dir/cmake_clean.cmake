@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_breakdown"
+  "../bench/bench_fig3_breakdown.pdb"
+  "CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cc.o"
+  "CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

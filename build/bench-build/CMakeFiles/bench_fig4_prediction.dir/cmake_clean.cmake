@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_prediction"
+  "../bench/bench_fig4_prediction.pdb"
+  "CMakeFiles/bench_fig4_prediction.dir/bench_fig4_prediction.cc.o"
+  "CMakeFiles/bench_fig4_prediction.dir/bench_fig4_prediction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

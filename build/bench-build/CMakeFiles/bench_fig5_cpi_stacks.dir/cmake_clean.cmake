@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_cpi_stacks"
+  "../bench/bench_fig5_cpi_stacks.pdb"
+  "CMakeFiles/bench_fig5_cpi_stacks.dir/bench_fig5_cpi_stacks.cc.o"
+  "CMakeFiles/bench_fig5_cpi_stacks.dir/bench_fig5_cpi_stacks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_cpi_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

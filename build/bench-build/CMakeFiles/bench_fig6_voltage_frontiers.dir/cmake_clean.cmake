@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_voltage_frontiers"
+  "../bench/bench_fig6_voltage_frontiers.pdb"
+  "CMakeFiles/bench_fig6_voltage_frontiers.dir/bench_fig6_voltage_frontiers.cc.o"
+  "CMakeFiles/bench_fig6_voltage_frontiers.dir/bench_fig6_voltage_frontiers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_voltage_frontiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

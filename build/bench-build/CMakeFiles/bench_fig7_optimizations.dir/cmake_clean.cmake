@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_optimizations"
+  "../bench/bench_fig7_optimizations.pdb"
+  "CMakeFiles/bench_fig7_optimizations.dir/bench_fig7_optimizations.cc.o"
+  "CMakeFiles/bench_fig7_optimizations.dir/bench_fig7_optimizations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

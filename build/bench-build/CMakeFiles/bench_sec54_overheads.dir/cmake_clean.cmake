@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec54_overheads"
+  "../bench/bench_sec54_overheads.pdb"
+  "CMakeFiles/bench_sec54_overheads.dir/bench_sec54_overheads.cc.o"
+  "CMakeFiles/bench_sec54_overheads.dir/bench_sec54_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec54_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

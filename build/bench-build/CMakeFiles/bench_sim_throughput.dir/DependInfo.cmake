@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_sim_throughput.cc" "bench-build/CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cc.o" "gcc" "bench-build/CMakeFiles/bench_sim_throughput.dir/bench_sim_throughput.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/tia_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vlsi/CMakeFiles/tia_vlsi.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/tia_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

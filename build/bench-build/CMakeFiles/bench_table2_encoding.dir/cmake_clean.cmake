@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_encoding"
+  "../bench/bench_table2_encoding.pdb"
+  "CMakeFiles/bench_table2_encoding.dir/bench_table2_encoding.cc.o"
+  "CMakeFiles/bench_table2_encoding.dir/bench_table2_encoding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_workloads"
+  "../bench/bench_table3_workloads.pdb"
+  "CMakeFiles/bench_table3_workloads.dir/bench_table3_workloads.cc.o"
+  "CMakeFiles/bench_table3_workloads.dir/bench_table3_workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

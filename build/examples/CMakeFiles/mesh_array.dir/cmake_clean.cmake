@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_array.dir/mesh_array.cpp.o"
+  "CMakeFiles/mesh_array.dir/mesh_array.cpp.o.d"
+  "mesh_array"
+  "mesh_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

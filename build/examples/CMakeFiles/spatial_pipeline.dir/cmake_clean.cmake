@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spatial_pipeline.dir/spatial_pipeline.cpp.o"
+  "CMakeFiles/spatial_pipeline.dir/spatial_pipeline.cpp.o.d"
+  "spatial_pipeline"
+  "spatial_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spatial_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

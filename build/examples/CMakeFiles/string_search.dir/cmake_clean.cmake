@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_search.dir/string_search.cpp.o"
+  "CMakeFiles/string_search.dir/string_search.cpp.o.d"
+  "string_search"
+  "string_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

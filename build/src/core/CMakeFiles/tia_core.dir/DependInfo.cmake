@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assembler.cc" "src/core/CMakeFiles/tia_core.dir/assembler.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/assembler.cc.o.d"
+  "/root/repo/src/core/encoding.cc" "src/core/CMakeFiles/tia_core.dir/encoding.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/encoding.cc.o.d"
+  "/root/repo/src/core/instruction.cc" "src/core/CMakeFiles/tia_core.dir/instruction.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/instruction.cc.o.d"
+  "/root/repo/src/core/opcode.cc" "src/core/CMakeFiles/tia_core.dir/opcode.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/opcode.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/core/CMakeFiles/tia_core.dir/params.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/params.cc.o.d"
+  "/root/repo/src/core/program.cc" "src/core/CMakeFiles/tia_core.dir/program.cc.o" "gcc" "src/core/CMakeFiles/tia_core.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

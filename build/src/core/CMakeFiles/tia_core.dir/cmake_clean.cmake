@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia_core.dir/assembler.cc.o"
+  "CMakeFiles/tia_core.dir/assembler.cc.o.d"
+  "CMakeFiles/tia_core.dir/encoding.cc.o"
+  "CMakeFiles/tia_core.dir/encoding.cc.o.d"
+  "CMakeFiles/tia_core.dir/instruction.cc.o"
+  "CMakeFiles/tia_core.dir/instruction.cc.o.d"
+  "CMakeFiles/tia_core.dir/opcode.cc.o"
+  "CMakeFiles/tia_core.dir/opcode.cc.o.d"
+  "CMakeFiles/tia_core.dir/params.cc.o"
+  "CMakeFiles/tia_core.dir/params.cc.o.d"
+  "CMakeFiles/tia_core.dir/program.cc.o"
+  "CMakeFiles/tia_core.dir/program.cc.o.d"
+  "libtia_core.a"
+  "libtia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

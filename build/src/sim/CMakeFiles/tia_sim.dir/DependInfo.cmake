@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/fabric_config.cc" "src/sim/CMakeFiles/tia_sim.dir/fabric_config.cc.o" "gcc" "src/sim/CMakeFiles/tia_sim.dir/fabric_config.cc.o.d"
+  "/root/repo/src/sim/functional.cc" "src/sim/CMakeFiles/tia_sim.dir/functional.cc.o" "gcc" "src/sim/CMakeFiles/tia_sim.dir/functional.cc.o.d"
+  "/root/repo/src/sim/mesh.cc" "src/sim/CMakeFiles/tia_sim.dir/mesh.cc.o" "gcc" "src/sim/CMakeFiles/tia_sim.dir/mesh.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/tia_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/tia_sim.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tia_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

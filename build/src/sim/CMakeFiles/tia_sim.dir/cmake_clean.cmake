@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia_sim.dir/fabric_config.cc.o"
+  "CMakeFiles/tia_sim.dir/fabric_config.cc.o.d"
+  "CMakeFiles/tia_sim.dir/functional.cc.o"
+  "CMakeFiles/tia_sim.dir/functional.cc.o.d"
+  "CMakeFiles/tia_sim.dir/mesh.cc.o"
+  "CMakeFiles/tia_sim.dir/mesh.cc.o.d"
+  "CMakeFiles/tia_sim.dir/scheduler.cc.o"
+  "CMakeFiles/tia_sim.dir/scheduler.cc.o.d"
+  "libtia_sim.a"
+  "libtia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtia_sim.a"
+)

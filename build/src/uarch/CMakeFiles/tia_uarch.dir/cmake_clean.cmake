@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia_uarch.dir/config.cc.o"
+  "CMakeFiles/tia_uarch.dir/config.cc.o.d"
+  "CMakeFiles/tia_uarch.dir/cycle_fabric.cc.o"
+  "CMakeFiles/tia_uarch.dir/cycle_fabric.cc.o.d"
+  "CMakeFiles/tia_uarch.dir/pipelined_pe.cc.o"
+  "CMakeFiles/tia_uarch.dir/pipelined_pe.cc.o.d"
+  "libtia_uarch.a"
+  "libtia_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tia_uarch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vlsi/area_power.cc" "src/vlsi/CMakeFiles/tia_vlsi.dir/area_power.cc.o" "gcc" "src/vlsi/CMakeFiles/tia_vlsi.dir/area_power.cc.o.d"
+  "/root/repo/src/vlsi/dse.cc" "src/vlsi/CMakeFiles/tia_vlsi.dir/dse.cc.o" "gcc" "src/vlsi/CMakeFiles/tia_vlsi.dir/dse.cc.o.d"
+  "/root/repo/src/vlsi/tech.cc" "src/vlsi/CMakeFiles/tia_vlsi.dir/tech.cc.o" "gcc" "src/vlsi/CMakeFiles/tia_vlsi.dir/tech.cc.o.d"
+  "/root/repo/src/vlsi/timing.cc" "src/vlsi/CMakeFiles/tia_vlsi.dir/timing.cc.o" "gcc" "src/vlsi/CMakeFiles/tia_vlsi.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uarch/CMakeFiles/tia_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia_vlsi.dir/area_power.cc.o"
+  "CMakeFiles/tia_vlsi.dir/area_power.cc.o.d"
+  "CMakeFiles/tia_vlsi.dir/dse.cc.o"
+  "CMakeFiles/tia_vlsi.dir/dse.cc.o.d"
+  "CMakeFiles/tia_vlsi.dir/tech.cc.o"
+  "CMakeFiles/tia_vlsi.dir/tech.cc.o.d"
+  "CMakeFiles/tia_vlsi.dir/timing.cc.o"
+  "CMakeFiles/tia_vlsi.dir/timing.cc.o.d"
+  "libtia_vlsi.a"
+  "libtia_vlsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia_vlsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia_workloads.dir/cpi.cc.o"
+  "CMakeFiles/tia_workloads.dir/cpi.cc.o.d"
+  "CMakeFiles/tia_workloads.dir/runner.cc.o"
+  "CMakeFiles/tia_workloads.dir/runner.cc.o.d"
+  "CMakeFiles/tia_workloads.dir/workloads.cc.o"
+  "CMakeFiles/tia_workloads.dir/workloads.cc.o.d"
+  "libtia_workloads.a"
+  "libtia_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler_fuzz.dir/test_assembler_fuzz.cc.o"
+  "CMakeFiles/test_assembler_fuzz.dir/test_assembler_fuzz.cc.o.d"
+  "test_assembler_fuzz"
+  "test_assembler_fuzz.pdb"
+  "test_assembler_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fabric_config.dir/test_fabric_config.cc.o"
+  "CMakeFiles/test_fabric_config.dir/test_fabric_config.cc.o.d"
+  "test_fabric_config"
+  "test_fabric_config.pdb"
+  "test_fabric_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fabric_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

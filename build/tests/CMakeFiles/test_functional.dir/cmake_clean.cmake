@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional.dir/test_functional.cc.o"
+  "CMakeFiles/test_functional.dir/test_functional.cc.o.d"
+  "test_functional"
+  "test_functional.pdb"
+  "test_functional[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

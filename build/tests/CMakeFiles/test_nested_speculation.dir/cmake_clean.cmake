@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nested_speculation.dir/test_nested_speculation.cc.o"
+  "CMakeFiles/test_nested_speculation.dir/test_nested_speculation.cc.o.d"
+  "test_nested_speculation"
+  "test_nested_speculation.pdb"
+  "test_nested_speculation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nested_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

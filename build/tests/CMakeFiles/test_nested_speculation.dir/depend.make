@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nested_speculation.
+# This may be replaced when dependencies are built.

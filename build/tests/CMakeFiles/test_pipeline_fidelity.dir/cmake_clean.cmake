@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_fidelity.dir/test_pipeline_fidelity.cc.o"
+  "CMakeFiles/test_pipeline_fidelity.dir/test_pipeline_fidelity.cc.o.d"
+  "test_pipeline_fidelity"
+  "test_pipeline_fidelity.pdb"
+  "test_pipeline_fidelity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue.dir/test_queue.cc.o"
+  "CMakeFiles/test_queue.dir/test_queue.cc.o.d"
+  "test_queue"
+  "test_queue.pdb"
+  "test_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

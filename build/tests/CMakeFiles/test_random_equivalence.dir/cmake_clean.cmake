@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_equivalence.dir/test_random_equivalence.cc.o"
+  "CMakeFiles/test_random_equivalence.dir/test_random_equivalence.cc.o.d"
+  "test_random_equivalence"
+  "test_random_equivalence.pdb"
+  "test_random_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_errors.dir/test_runtime_errors.cc.o"
+  "CMakeFiles/test_runtime_errors.dir/test_runtime_errors.cc.o.d"
+  "test_runtime_errors"
+  "test_runtime_errors.pdb"
+  "test_runtime_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

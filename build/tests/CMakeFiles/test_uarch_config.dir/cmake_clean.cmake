@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uarch_config.dir/test_uarch_config.cc.o"
+  "CMakeFiles/test_uarch_config.dir/test_uarch_config.cc.o.d"
+  "test_uarch_config"
+  "test_uarch_config.pdb"
+  "test_uarch_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uarch_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_edges.dir/test_workload_edges.cc.o"
+  "CMakeFiles/test_workload_edges.dir/test_workload_edges.cc.o.d"
+  "test_workload_edges"
+  "test_workload_edges.pdb"
+  "test_workload_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

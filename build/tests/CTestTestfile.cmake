@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_params[1]_include.cmake")
+include("/root/repo/build/tests/test_opcode[1]_include.cmake")
+include("/root/repo/build/tests/test_encoding[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_functional[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_fabric_config[1]_include.cmake")
+include("/root/repo/build/tests/test_vlsi[1]_include.cmake")
+include("/root/repo/build/tests/test_uarch_config[1]_include.cmake")
+include("/root/repo/build/tests/test_random_equivalence[1]_include.cmake")
+include("/root/repo/build/tests/test_nested_speculation[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_mesh[1]_include.cmake")
+include("/root/repo/build/tests/test_counters[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_fidelity[1]_include.cmake")
+include("/root/repo/build/tests/test_workload_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_errors[1]_include.cmake")

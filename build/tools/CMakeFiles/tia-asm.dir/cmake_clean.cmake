@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia-asm.dir/tia_asm.cc.o"
+  "CMakeFiles/tia-asm.dir/tia_asm.cc.o.d"
+  "tia-asm"
+  "tia-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tia-sim.dir/tia_sim.cc.o"
+  "CMakeFiles/tia-sim.dir/tia_sim.cc.o.d"
+  "tia-sim"
+  "tia-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tia-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_asm_assembles_fib "/root/repo/build/tools/tia-asm" "/root/repo/examples/programs/fib.s" "-o" "fib.bin")
+set_tests_properties(tool_asm_assembles_fib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_asm_hex_dump "/root/repo/build/tools/tia-asm" "/root/repo/examples/programs/fib.s" "--hex")
+set_tests_properties(tool_asm_hex_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_functional_fib "/root/repo/build/tools/tia-sim" "/root/repo/examples/programs/fib.s" "--dump" "0")
+set_tests_properties(tool_sim_functional_fib PROPERTIES  PASS_REGULAR_EXPRESSION "mem\\[0\\] = 6765" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_cycle_fib "/root/repo/build/tools/tia-sim" "/root/repo/examples/programs/fib.s" "-u" "T|DX +P+Q" "--dump" "0")
+set_tests_properties(tool_sim_cycle_fib PROPERTIES  PASS_REGULAR_EXPRESSION "mem\\[0\\] = 6765" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_multi_pe_relay "/root/repo/build/tools/tia-sim" "/root/repo/examples/programs/relay.s" "--pes" "2" "--connect" "0.3:1.0" "--write-port" "1.1.2" "--dump" "100:8" "-u" "T|D|X1|X2 +P+N+Q")
+set_tests_properties(tool_sim_multi_pe_relay PROPERTIES  PASS_REGULAR_EXPRESSION "mem\\[107\\] = 16" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
