@@ -82,9 +82,30 @@ class FunctionalPe
 enum class RunStatus
 {
     Halted,      ///< Every PE executed a halt.
-    Quiescent,   ///< No PE or port can make progress (deadlock or done).
+    Quiescent,   ///< Nothing can progress; no wait cycle found (done or starved).
     StepLimit,   ///< The step budget was exhausted.
+    Deadlock,    ///< Quiescent with a cycle in the wait-for graph.
+    Livelock,    ///< Active to the step limit without observable progress.
 };
+
+/** Human-readable name for a RunStatus. */
+inline const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Halted:
+        return "halted";
+      case RunStatus::Quiescent:
+        return "quiescent";
+      case RunStatus::StepLimit:
+        return "step limit";
+      case RunStatus::Deadlock:
+        return "deadlock";
+      case RunStatus::Livelock:
+        return "livelock";
+    }
+    return "?";
+}
 
 /** A full functional fabric: PEs + channels + memory ports. */
 class FunctionalFabric

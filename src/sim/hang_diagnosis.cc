@@ -1,0 +1,163 @@
+#include "sim/hang_diagnosis.hh"
+
+#include <sstream>
+
+#include "core/logging.hh"
+
+namespace tia {
+
+std::size_t
+WaitForGraph::addNode(AgentKind kind, unsigned index, std::string name,
+                      bool blocked)
+{
+    nodes_.push_back({kind, index, std::move(name), blocked});
+    return nodes_.size() - 1;
+}
+
+void
+WaitForGraph::markBlocked(std::size_t node)
+{
+    nodes_.at(node).blocked = true;
+}
+
+void
+WaitForGraph::addEdge(std::size_t from, std::size_t to, std::string reason)
+{
+    panicIf(from >= nodes_.size() || to >= nodes_.size(),
+            "wait-for edge references a nonexistent node");
+    edges_.push_back({from, to, std::move(reason)});
+}
+
+std::vector<std::size_t>
+WaitForGraph::findCycle() const
+{
+    // Iterative DFS with the classic white/grey/black coloring; a grey
+    // hit closes a cycle, which we then read off the DFS stack.
+    std::vector<std::vector<std::size_t>> successors(nodes_.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e)
+        successors[edges_[e].from].push_back(e);
+
+    enum Color : std::uint8_t { White, Grey, Black };
+    std::vector<Color> color(nodes_.size(), White);
+
+    struct Frame
+    {
+        std::size_t node;
+        std::size_t next = 0; ///< Next successor edge to explore.
+    };
+
+    for (std::size_t root = 0; root < nodes_.size(); ++root) {
+        if (color[root] != White)
+            continue;
+        std::vector<Frame> stack{{root}};
+        color[root] = Grey;
+        while (!stack.empty()) {
+            Frame &frame = stack.back();
+            if (frame.next >= successors[frame.node].size()) {
+                color[frame.node] = Black;
+                stack.pop_back();
+                continue;
+            }
+            const Edge &edge = edges_[successors[frame.node][frame.next++]];
+            if (color[edge.to] == Grey) {
+                // Found a cycle: read it off the stack.
+                std::vector<std::size_t> cycle;
+                std::size_t begin = 0;
+                for (std::size_t i = 0; i < stack.size(); ++i) {
+                    if (stack[i].node == edge.to)
+                        begin = i;
+                }
+                bool blocked = false;
+                for (std::size_t i = begin; i < stack.size(); ++i) {
+                    cycle.push_back(stack[i].node);
+                    blocked |= nodes_[stack[i].node].blocked;
+                }
+                if (blocked)
+                    return cycle;
+                // A cycle with no blocked agent (e.g. a live ring) is
+                // not a deadlock; keep searching.
+            } else if (color[edge.to] == White) {
+                color[edge.to] = Grey;
+                stack.push_back({edge.to});
+            }
+        }
+    }
+    return {};
+}
+
+std::vector<std::string>
+WaitForGraph::renderChain(const std::vector<std::size_t> &cycle) const
+{
+    std::vector<std::string> lines;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const std::size_t from = cycle[i];
+        const std::size_t to = cycle[(i + 1) % cycle.size()];
+        const Edge *found = nullptr;
+        for (const auto &edge : edges_) {
+            if (edge.from == from && edge.to == to) {
+                found = &edge;
+                break;
+            }
+        }
+        std::ostringstream os;
+        os << nodes_[from].name << " --["
+           << (found ? found->reason : "waits on") << "]--> "
+           << nodes_[to].name;
+        lines.push_back(os.str());
+    }
+    return lines;
+}
+
+HangReport
+classifyQuiescence(const WaitForGraph &graph)
+{
+    HangReport report;
+    for (const auto &node : graph.nodes()) {
+        if (node.blocked)
+            report.blockedAgents.push_back(node.name);
+    }
+
+    const auto cycle = graph.findCycle();
+    if (!cycle.empty()) {
+        report.classification = RunStatus::Deadlock;
+        report.waitChain = graph.renderChain(cycle);
+        std::ostringstream os;
+        os << "deadlock: " << cycle.size()
+           << "-agent wait cycle through " << graph.nodes()[cycle[0]].name;
+        report.summary = os.str();
+        return report;
+    }
+
+    report.classification = RunStatus::Quiescent;
+    if (report.blockedAgents.empty()) {
+        report.summary = "quiescent: no agent is waiting (work complete)";
+    } else {
+        std::ostringstream os;
+        os << "quiescent: " << report.blockedAgents.size()
+           << " agent(s) starved with no wait cycle (producer halted or"
+              " idle)";
+        report.summary = os.str();
+    }
+    return report;
+}
+
+HangReport
+classifyStepLimit(Cycle silentCycles, Cycle window)
+{
+    HangReport report;
+    if (window > 0 && silentCycles >= window) {
+        report.classification = RunStatus::Livelock;
+        std::ostringstream os;
+        os << "livelock: active for the final " << silentCycles
+           << " cycles without observable progress (no token moved, no"
+              " memory written)";
+        report.summary = os.str();
+    } else {
+        report.classification = RunStatus::StepLimit;
+        report.summary = "step limit: cycle budget exhausted while still"
+                         " making progress";
+    }
+    return report;
+}
+
+} // namespace tia

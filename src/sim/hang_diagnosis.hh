@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Hang diagnosis: wait-for graphs and run-outcome classification.
+ *
+ * A quiescent fabric is ambiguous — it may have finished (every token
+ * consumed, nothing left to trigger) or deadlocked (a ring of agents
+ * each waiting for another to move first). The cycle-accurate fabric
+ * resolves the ambiguity by building a wait-for graph at quiescence:
+ * nodes are PEs, channels and memory ports; a blocked PE points at the
+ * channel it waits on, an empty channel points at its producer, a full
+ * channel points at its consumers. A cycle through a blocked agent is
+ * a deadlock and the cycle itself is the diagnosis — the report
+ * renders it as a chain naming each PE and queue. Runs that stay busy
+ * to the step limit without moving a single token are classified as
+ * livelock (spinning without observable progress).
+ *
+ * The graph and classifier are microarchitecture-agnostic; the fabric
+ * that owns the wiring is responsible for adding the right edges.
+ */
+
+#ifndef TIA_SIM_HANG_DIAGNOSIS_HH
+#define TIA_SIM_HANG_DIAGNOSIS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hh"
+#include "sim/functional.hh" // RunStatus
+
+namespace tia {
+
+/** What a wait-for-graph node models. */
+enum class AgentKind
+{
+    Pe,
+    Channel,
+    ReadPort,
+    WritePort,
+};
+
+/** Directed wait-for graph over fabric agents. */
+class WaitForGraph
+{
+  public:
+    struct Node
+    {
+        AgentKind kind;
+        unsigned index;   ///< PE / channel / port number.
+        std::string name; ///< Display name, e.g. "PE 1", "channel 3".
+        bool blocked;     ///< True if the agent is stuck waiting.
+    };
+
+    struct Edge
+    {
+        std::size_t from;
+        std::size_t to;
+        std::string reason; ///< e.g. "input %i0 empty", "fed by".
+    };
+
+    /** Add a node; returns its id. */
+    std::size_t addNode(AgentKind kind, unsigned index, std::string name,
+                        bool blocked = false);
+
+    /** Mark an existing node blocked. */
+    void markBlocked(std::size_t node);
+
+    /** Add a wait edge (@p from waits on @p to). */
+    void addEdge(std::size_t from, std::size_t to, std::string reason);
+
+    const std::vector<Node> &nodes() const { return nodes_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+
+    /**
+     * Find a directed cycle containing at least one blocked node.
+     * @return node ids along the cycle (first == entry point), empty
+     *         when the graph is acyclic.
+     */
+    std::vector<std::size_t> findCycle() const;
+
+    /**
+     * Render the wait chain for @p cycle as human-readable lines, e.g.
+     * "PE 0 --[input %i0 empty]--> channel 1".
+     */
+    std::vector<std::string> renderChain(
+        const std::vector<std::size_t> &cycle) const;
+
+  private:
+    std::vector<Node> nodes_;
+    std::vector<Edge> edges_;
+};
+
+/** The watchdog's verdict on how a run ended. */
+struct HangReport
+{
+    /** Refined status (Halted / Quiescent / Deadlock / Livelock / StepLimit). */
+    RunStatus classification = RunStatus::StepLimit;
+    /** One-line human summary of the outcome. */
+    std::string summary;
+    /**
+     * For deadlocks: the blocking chain, one edge per line, naming the
+     * blocked PEs and the queues they wait on. Empty otherwise.
+     */
+    std::vector<std::string> waitChain;
+    /** Names of agents blocked at the end of the run (diagnostics). */
+    std::vector<std::string> blockedAgents;
+
+    bool operator==(const HangReport &) const = default;
+};
+
+/**
+ * Classify a quiescent fabric from its wait-for graph: Deadlock when a
+ * wait cycle through a blocked agent exists, Quiescent otherwise (the
+ * report still lists starved agents, if any).
+ */
+HangReport classifyQuiescence(const WaitForGraph &graph);
+
+/**
+ * Classify a run that exhausted its cycle budget. @p silentCycles is
+ * how long the fabric has been active without any token movement or
+ * retirement progress; at or beyond @p window that is a livelock.
+ */
+HangReport classifyStepLimit(Cycle silentCycles, Cycle window);
+
+} // namespace tia
+
+#endif // TIA_SIM_HANG_DIAGNOSIS_HH

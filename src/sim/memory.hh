@@ -20,6 +20,7 @@
 
 #include "core/logging.hh"
 #include "core/types.hh"
+#include "sim/fault.hh"
 #include "sim/queue.hh"
 
 namespace tia {
@@ -76,6 +77,14 @@ class MemoryReadPort
     {
     }
 
+    /** Install a fault injector; @p id names this read port. */
+    void
+    setFaultInjector(FaultInjector *injector, unsigned id)
+    {
+        faultInjector_ = injector;
+        portId_ = id;
+    }
+
     /**
      * Advance one cycle at time @p now: retire due responses (in
      * order, when the response channel has space) and accept at most
@@ -87,15 +96,20 @@ class MemoryReadPort
         // Deliver the oldest due response if the output has room
         // (snapshot view: space present at the start of the cycle).
         if (!inFlight_.empty() && inFlight_.front().ready <= now &&
-            responses_.snapshotSize() < responses_.capacity()) {
+            responses_.snapshotSize() < responses_.capacity() &&
+            !responses_.faultStuckFull()) {
             responses_.push(inFlight_.front().token);
             inFlight_.pop_front();
         }
         // Accept one request per cycle (snapshot view of availability).
-        if (addresses_.snapshotSize() > 0) {
+        if (addresses_.snapshotSize() > 0 &&
+            !addresses_.faultStuckEmpty()) {
             Token request = addresses_.pop();
             Token response{memory_.read(request.data), request.tag};
-            inFlight_.push_back({now + latency_, response});
+            unsigned extra = 0;
+            if (faultInjector_)
+                extra = faultInjector_->extraReadLatency(portId_);
+            inFlight_.push_back({now + latency_ + extra, response});
         }
     }
 
@@ -110,8 +124,12 @@ class MemoryReadPort
         return true;
     }
 
-    /** True if requests are still being processed. */
-    bool busy() const { return !inFlight_.empty(); }
+    /**
+     * True if requests are still being processed or waiting to be
+     * accepted (pending addresses will be consumed next cycle, so the
+     * fabric is not quiescent yet).
+     */
+    bool busy() const { return !inFlight_.empty() || !addresses_.empty(); }
 
   private:
     struct Response
@@ -125,6 +143,8 @@ class MemoryReadPort
     TaggedQueue &responses_;
     unsigned latency_;
     std::deque<Response> inFlight_;
+    FaultInjector *faultInjector_ = nullptr;
+    unsigned portId_ = 0;
 };
 
 /**
@@ -144,7 +164,8 @@ class MemoryWritePort
     void
     step(Cycle)
     {
-        if (addresses_.snapshotSize() > 0 && data_.snapshotSize() > 0) {
+        if (addresses_.snapshotSize() > 0 && data_.snapshotSize() > 0 &&
+            !addresses_.faultStuckEmpty() && !data_.faultStuckEmpty()) {
             Token address = addresses_.pop();
             Token value = data_.pop();
             memory_.write(address.data, value.data);
@@ -166,6 +187,12 @@ class MemoryWritePort
     }
 
     std::uint64_t writesPerformed() const { return writesPerformed_; }
+
+    /**
+     * True while complete (address, data) pairs are waiting: the port
+     * will retire one next cycle, so the fabric is still draining.
+     */
+    bool busy() const { return !addresses_.empty() && !data_.empty(); }
 
   private:
     Memory &memory_;

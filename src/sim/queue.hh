@@ -31,6 +31,38 @@ struct Token
 };
 
 /**
+ * Injection point for channel-level fault models (see sim/fault.hh).
+ *
+ * A queue with a hook installed consults it on every committed-path
+ * push (which may corrupt the token in place, drop it, or duplicate
+ * it) and exposes the hook's stuck-status verdicts through
+ * faultStuckEmpty()/faultStuckFull(). Status faults deliberately warp
+ * only what schedulers and ports *observe* — the queue contents stay
+ * intact, so execution resumes unharmed when the fault window closes.
+ */
+class ChannelFaultHook
+{
+  public:
+    enum class PushAction
+    {
+        Keep,      ///< Deliver the (possibly corrupted) token normally.
+        Drop,      ///< Silently lose the token.
+        Duplicate, ///< Deliver the token twice (capacity permitting).
+    };
+
+    virtual ~ChannelFaultHook() = default;
+
+    /** Called once per push; may mutate @p token (corruption). */
+    virtual PushAction onPush(unsigned channel, Token &token) = 0;
+
+    /** True while channel @p channel must report itself empty. */
+    virtual bool stuckEmpty(unsigned channel) const = 0;
+
+    /** True while channel @p channel must report itself full. */
+    virtual bool stuckFull(unsigned channel) const = 0;
+};
+
+/**
  * A bounded FIFO of tagged tokens with single producer and single
  * consumer, deferred-push semantics and cycle-start occupancy
  * snapshots.
@@ -89,10 +121,21 @@ class TaggedQueue
     void
     push(const Token &token)
     {
+        Token delivered = token;
+        if (faultHook_) {
+            const auto action = faultHook_->onPush(channelId_, delivered);
+            if (action == ChannelFaultHook::PushAction::Drop)
+                return;
+            if (action == ChannelFaultHook::PushAction::Duplicate &&
+                entries_.size() + pending_.size() + 1 < capacity_) {
+                pending_.push_back(delivered);
+                ++totalPushes_;
+            }
+        }
         panicIf(entries_.size() + pending_.size() >= capacity_,
                 "push to full queue (capacity ", capacity_,
                 ") — a hazard check failed");
-        pending_.push_back(token);
+        pending_.push_back(delivered);
         ++totalPushes_;
     }
 
@@ -137,6 +180,28 @@ class TaggedQueue
         return static_cast<unsigned>(pending_.size());
     }
 
+    /** Install (or clear) a fault hook; @p id names this channel. */
+    void
+    setFaultHook(ChannelFaultHook *hook, unsigned id)
+    {
+        faultHook_ = hook;
+        channelId_ = id;
+    }
+
+    /** True while a fault forces this queue to report itself empty. */
+    bool
+    faultStuckEmpty() const
+    {
+        return faultHook_ && faultHook_->stuckEmpty(channelId_);
+    }
+
+    /** True while a fault forces this queue to report itself full. */
+    bool
+    faultStuckFull() const
+    {
+        return faultHook_ && faultHook_->stuckFull(channelId_);
+    }
+
   private:
     unsigned capacity_;
     std::deque<Token> entries_;
@@ -145,6 +210,8 @@ class TaggedQueue
     unsigned popsThisCycle_ = 0;
     std::uint64_t totalPushes_ = 0;
     std::uint64_t totalPops_ = 0;
+    ChannelFaultHook *faultHook_ = nullptr;
+    unsigned channelId_ = 0;
 };
 
 } // namespace tia

@@ -38,6 +38,10 @@ struct PerfCounters
     std::uint64_t dequeues = 0;        ///< Input tokens consumed.
     std::uint64_t enqueues = 0;        ///< Output tokens produced.
 
+    // Fault-injection accounting (sim/fault.hh).
+    std::uint64_t faultsInjected = 0;  ///< Predictions inverted by a fault.
+    std::uint64_t faultRecoveries = 0; ///< Injected flips repaired by rollback.
+
     /** Cycles per retired instruction. */
     double
     cpi() const
@@ -82,6 +86,8 @@ struct PerfCounters
         mispredictions += other.mispredictions;
         dequeues += other.dequeues;
         enqueues += other.enqueues;
+        faultsInjected += other.faultsInjected;
+        faultRecoveries += other.faultRecoveries;
         return *this;
     }
 };

@@ -1,12 +1,15 @@
 #include "uarch/cycle_fabric.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "core/logging.hh"
 
 namespace tia {
 
 CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
-                         const PeConfig &uarch)
-    : config_(config), memory_(config.memoryWords)
+                         const PeConfig &uarch, FaultInjector *injector)
+    : config_(config), memory_(config.memoryWords), injector_(injector)
 {
     config_.validate();
     fatalIf(program.numPes() > config_.numPes,
@@ -16,6 +19,8 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
     for (unsigned ch = 0; ch < config_.numChannels; ++ch) {
         channels_.push_back(
             std::make_unique<TaggedQueue>(config_.params.queueCapacity));
+        if (injector_)
+            channels_.back()->setFaultHook(injector_, ch);
     }
 
     for (unsigned pe = 0; pe < config_.numPes; ++pe) {
@@ -40,6 +45,8 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
             pipelined->setRegs(config_.initialRegs[pe]);
         if (pe < config_.initialPreds.size())
             pipelined->setPreds(config_.initialPreds[pe]);
+        if (injector_)
+            pipelined->setFaultInjector(injector_, pe);
         pes_.push_back(std::move(pipelined));
     }
 
@@ -47,6 +54,11 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
         readPorts_.push_back(std::make_unique<MemoryReadPort>(
             memory_, *channels_[spec.addrChannel],
             *channels_[spec.dataChannel], config_.memLatency));
+        if (injector_) {
+            readPorts_.back()->setFaultInjector(
+                injector_,
+                static_cast<unsigned>(readPorts_.size() - 1));
+        }
     }
     for (const auto &spec : config_.writePorts) {
         writePorts_.push_back(std::make_unique<MemoryWritePort>(
@@ -58,6 +70,8 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
 void
 CycleFabric::step()
 {
+    if (injector_)
+        injector_->beginCycle(now_);
     for (auto &channel : channels_)
         channel->beginCycle();
     for (auto &pe : pes_)
@@ -82,35 +96,219 @@ CycleFabric::anyActivity() const
         if (port->busy())
             return true;
     }
+    for (const auto &port : writePorts_) {
+        if (port->busy())
+            return true;
+    }
     return false;
 }
 
-RunStatus
-CycleFabric::run(Cycle max_cycles, Cycle quiescence_window)
+std::uint64_t
+CycleFabric::totalRetired() const
 {
-    std::uint64_t last_retired = 0;
-    Cycle last_activity = now_;
+    std::uint64_t retired = 0;
+    for (const auto &pe : pes_)
+        retired += pe->counters().retired;
+    return retired;
+}
 
-    while (now_ < max_cycles) {
+std::uint64_t
+CycleFabric::tokensMoved() const
+{
+    std::uint64_t moved = 0;
+    for (const auto &channel : channels_)
+        moved += channel->totalPushes() + channel->totalPops();
+    for (const auto &port : writePorts_)
+        moved += port->writesPerformed();
+    return moved;
+}
+
+RunStatus
+CycleFabric::run(const FabricRunOptions &options)
+{
+    std::uint64_t last_retired = totalRetired();
+    std::uint64_t last_tokens = tokensMoved();
+    Cycle last_activity = now_;
+    Cycle last_progress = now_;
+
+    while (now_ < options.maxCycles) {
         bool all_halted = true;
         for (const auto &pe : pes_)
             all_halted &= pe->halted();
-        if (all_halted)
+        if (all_halted) {
+            report_ = HangReport{};
+            report_.classification = RunStatus::Halted;
+            report_.summary = "halted: every PE retired a halt";
             return RunStatus::Halted;
+        }
 
         step();
 
-        std::uint64_t retired = 0;
-        for (const auto &pe : pes_)
-            retired += pe->counters().retired;
+        const std::uint64_t tokens = tokensMoved();
+        if (tokens != last_tokens) {
+            last_tokens = tokens;
+            last_progress = now_;
+        }
+        const std::uint64_t retired = totalRetired();
         if (retired != last_retired || anyActivity()) {
             last_retired = retired;
             last_activity = now_;
-        } else if (now_ - last_activity >= quiescence_window) {
-            return RunStatus::Quiescent;
+        } else if (now_ - last_activity >= options.quiescenceWindow) {
+            report_ = diagnoseQuiescence();
+            return report_.classification;
         }
     }
-    return RunStatus::StepLimit;
+    report_ = classifyStepLimit(now_ - last_progress,
+                                options.quiescenceWindow);
+    return report_.classification;
+}
+
+namespace {
+
+/** Identity of a channel endpoint for wait-for-graph construction. */
+struct Endpoint
+{
+    enum Kind { None, Pe, RPort, WPort } kind = None;
+    unsigned index = 0;
+    unsigned port = 0; ///< PE port number (diagnostics only).
+};
+
+} // namespace
+
+HangReport
+CycleFabric::diagnoseQuiescence() const
+{
+    WaitForGraph graph;
+
+    std::vector<std::size_t> pe_node(pes_.size());
+    for (unsigned pe = 0; pe < pes_.size(); ++pe) {
+        pe_node[pe] =
+            graph.addNode(AgentKind::Pe, pe, "PE " + std::to_string(pe));
+    }
+    std::vector<std::size_t> ch_node(channels_.size());
+    for (unsigned ch = 0; ch < channels_.size(); ++ch) {
+        ch_node[ch] = graph.addNode(AgentKind::Channel, ch,
+                                    "channel " + std::to_string(ch));
+    }
+    std::vector<std::size_t> rp_node(readPorts_.size());
+    for (unsigned rp = 0; rp < readPorts_.size(); ++rp) {
+        rp_node[rp] = graph.addNode(AgentKind::ReadPort, rp,
+                                    "read port " + std::to_string(rp));
+    }
+    std::vector<std::size_t> wp_node(writePorts_.size());
+    for (unsigned wp = 0; wp < writePorts_.size(); ++wp) {
+        wp_node[wp] = graph.addNode(AgentKind::WritePort, wp,
+                                    "write port " + std::to_string(wp));
+    }
+
+    // Who produces into and consumes from each channel.
+    std::vector<Endpoint> producer(channels_.size());
+    std::vector<std::vector<Endpoint>> consumers(channels_.size());
+    for (unsigned pe = 0; pe < pes_.size(); ++pe) {
+        for (unsigned port = 0; port < config_.params.numOutputQueues;
+             ++port) {
+            const int ch = config_.outputChannel[pe][port];
+            if (ch != kUnbound)
+                producer[ch] = {Endpoint::Pe, pe, port};
+        }
+        for (unsigned port = 0; port < config_.params.numInputQueues;
+             ++port) {
+            const int ch = config_.inputChannel[pe][port];
+            if (ch != kUnbound)
+                consumers[ch].push_back({Endpoint::Pe, pe, port});
+        }
+    }
+    for (unsigned rp = 0; rp < config_.readPorts.size(); ++rp) {
+        producer[config_.readPorts[rp].dataChannel] = {Endpoint::RPort, rp,
+                                                       0};
+        consumers[config_.readPorts[rp].addrChannel].push_back(
+            {Endpoint::RPort, rp, 0});
+    }
+    for (unsigned wp = 0; wp < config_.writePorts.size(); ++wp) {
+        consumers[config_.writePorts[wp].addrChannel].push_back(
+            {Endpoint::WPort, wp, 0});
+        consumers[config_.writePorts[wp].dataChannel].push_back(
+            {Endpoint::WPort, wp, 1});
+    }
+
+    auto endpoint_node = [&](const Endpoint &ep) -> std::size_t {
+        switch (ep.kind) {
+          case Endpoint::Pe:
+            return pe_node[ep.index];
+          case Endpoint::RPort:
+            return rp_node[ep.index];
+          case Endpoint::WPort:
+            return wp_node[ep.index];
+          case Endpoint::None:
+            break;
+        }
+        return static_cast<std::size_t>(-1);
+    };
+
+    // An empty-waited channel is unblocked by its producer; a
+    // full-waited channel by its consumers. Edges are added per wait
+    // so the two directions never mix on an unwaited channel.
+    auto add_empty_wait = [&](std::size_t waiter, unsigned ch,
+                              std::string reason) {
+        graph.addEdge(waiter, ch_node[ch], std::move(reason));
+        const std::size_t prod = endpoint_node(producer[ch]);
+        if (prod != static_cast<std::size_t>(-1))
+            graph.addEdge(ch_node[ch], prod, "fed by");
+    };
+    auto add_full_wait = [&](std::size_t waiter, unsigned ch,
+                             std::string reason) {
+        graph.addEdge(waiter, ch_node[ch], std::move(reason));
+        for (const auto &cons : consumers[ch]) {
+            const std::size_t node = endpoint_node(cons);
+            if (node != static_cast<std::size_t>(-1))
+                graph.addEdge(ch_node[ch], node, "drained by");
+        }
+    };
+
+    // PE wait edges, from the scheduler's own queue view.
+    for (unsigned pe = 0; pe < pes_.size(); ++pe) {
+        const PeWaitInfo info = pes_[pe]->queueWaits();
+        if (!info.blocked())
+            continue;
+        graph.markBlocked(pe_node[pe]);
+        for (unsigned port : info.waitInputs) {
+            const int ch = config_.inputChannel[pe][port];
+            if (ch != kUnbound) {
+                add_empty_wait(pe_node[pe], static_cast<unsigned>(ch),
+                               "input %i" + std::to_string(port) +
+                                   " empty or wrong tag");
+            }
+        }
+        for (unsigned port : info.waitOutputs) {
+            const int ch = config_.outputChannel[pe][port];
+            if (ch != kUnbound) {
+                add_full_wait(pe_node[pe], static_cast<unsigned>(ch),
+                              "output %o" + std::to_string(port) +
+                                  " full");
+            }
+        }
+    }
+
+    // A read port that is not producing is waiting for addresses.
+    for (unsigned rp = 0; rp < readPorts_.size(); ++rp) {
+        if (channels_[config_.readPorts[rp].addrChannel]->empty()) {
+            add_empty_wait(rp_node[rp], config_.readPorts[rp].addrChannel,
+                           "no requests");
+        }
+    }
+    // A write port with one side of the pair missing waits for it.
+    for (unsigned wp = 0; wp < writePorts_.size(); ++wp) {
+        const unsigned addr_ch = config_.writePorts[wp].addrChannel;
+        const unsigned data_ch = config_.writePorts[wp].dataChannel;
+        const bool addr_empty = channels_[addr_ch]->empty();
+        const bool data_empty = channels_[data_ch]->empty();
+        if (addr_empty != data_empty) {
+            add_empty_wait(wp_node[wp], addr_empty ? addr_ch : data_ch,
+                           "awaiting paired token");
+        }
+    }
+
+    return classifyQuiescence(graph);
 }
 
 } // namespace tia

@@ -4,6 +4,12 @@
  * ports stepped in lockstep with RTL-like update semantics (pushes
  * commit at cycle boundaries; all agents observe consistent state
  * regardless of evaluation order).
+ *
+ * The fabric doubles as the fault-injection and hang-diagnosis
+ * harness: an optional FaultInjector is threaded through every
+ * channel, PE and memory port, and run() ends every execution with a
+ * HangReport that distinguishes a finished fabric from a deadlocked
+ * (wait-for cycle) or livelocked (spinning without progress) one.
  */
 
 #ifndef TIA_UARCH_CYCLE_FABRIC_HH
@@ -14,36 +20,73 @@
 
 #include "core/program.hh"
 #include "sim/fabric_config.hh"
+#include "sim/fault.hh"
 #include "sim/functional.hh" // RunStatus
+#include "sim/hang_diagnosis.hh"
 #include "sim/memory.hh"
 #include "sim/queue.hh"
 #include "uarch/pipelined_pe.hh"
 
 namespace tia {
 
+/** Knobs for CycleFabric::run (previously hard-coded defaults). */
+struct FabricRunOptions
+{
+    /** Simulation budget in cycles. */
+    Cycle maxCycles = 50'000'000;
+    /**
+     * Cycles without retirement or agent activity before the fabric
+     * is declared quiescent — and, at the step limit, cycles without
+     * observable progress before a run is classified as livelock.
+     */
+    Cycle quiescenceWindow = 10'000;
+};
+
 /** A full cycle-accurate fabric running one microarchitecture. */
 class CycleFabric
 {
   public:
     /**
-     * @param config  fabric wiring (same object the functional fabric
-     *                takes, enabling equivalence testing).
-     * @param program assembled program.
-     * @param uarch   PE microarchitecture used for every PE.
+     * @param config   fabric wiring (same object the functional fabric
+     *                 takes, enabling equivalence testing).
+     * @param program  assembled program.
+     * @param uarch    PE microarchitecture used for every PE.
+     * @param injector optional fault injector, threaded through every
+     *                 channel, PE and memory read port (non-owning;
+     *                 must outlive the fabric).
      */
     CycleFabric(const FabricConfig &config, const Program &program,
-                const PeConfig &uarch);
+                const PeConfig &uarch, FaultInjector *injector = nullptr);
 
     /** Advance one clock cycle. */
     void step();
 
     /**
      * Run until every PE halts, the fabric goes quiescent (no retire
-     * or memory activity for @p quiescence_window cycles), or
-     * @p max_cycles elapse.
+     * or agent activity for the quiescence window), or the cycle
+     * budget elapses. Quiescent and step-limit endings are diagnosed:
+     * a wait-for cycle upgrades Quiescent to Deadlock, and a stretch
+     * of activity without observable progress upgrades StepLimit to
+     * Livelock. hangReport() carries the full diagnosis.
      */
-    RunStatus run(Cycle max_cycles = 50'000'000,
-                  Cycle quiescence_window = 10'000);
+    RunStatus run(const FabricRunOptions &options);
+
+    /** Convenience overload with the historical signature. */
+    RunStatus
+    run(Cycle max_cycles = 50'000'000, Cycle quiescence_window = 10'000)
+    {
+        return run(FabricRunOptions{max_cycles, quiescence_window});
+    }
+
+    /** Diagnosis of how the last run() ended. */
+    const HangReport &hangReport() const { return report_; }
+
+    /**
+     * Build the wait-for graph and classify the fabric's current
+     * state as if it had just gone quiescent (exposed for tools and
+     * tests; run() calls this internally).
+     */
+    HangReport diagnoseQuiescence() const;
 
     Cycle now() const { return now_; }
 
@@ -57,12 +100,20 @@ class CycleFabric
   private:
     bool anyActivity() const;
 
+    /** Total retired instructions across all PEs. */
+    std::uint64_t totalRetired() const;
+
+    /** Monotone count of observable progress events (token movement). */
+    std::uint64_t tokensMoved() const;
+
     FabricConfig config_;
     Memory memory_;
     std::vector<std::unique_ptr<TaggedQueue>> channels_;
     std::vector<std::unique_ptr<PipelinedPe>> pes_;
     std::vector<std::unique_ptr<MemoryReadPort>> readPorts_;
     std::vector<std::unique_ptr<MemoryWritePort>> writePorts_;
+    FaultInjector *injector_ = nullptr;
+    HangReport report_;
     Cycle now_ = 0;
 };
 

@@ -1,7 +1,10 @@
 #include "uarch/pipelined_pe.hh"
 
+#include <algorithm>
+
 #include "core/logging.hh"
 #include "core/opcode.hh"
+#include "sim/fault.hh"
 
 namespace tia {
 
@@ -21,6 +24,8 @@ class CycleQueueView : public QueueStatusView
     {
         const TaggedQueue *queue = pe_.inputs_.at(q);
         if (!queue)
+            return 0;
+        if (queue->faultStuckEmpty())
             return 0;
         const unsigned pending = pe_.pendingDeq_.at(q);
         if (!pe_.config_.effectiveQueueStatus) {
@@ -44,6 +49,8 @@ class CycleQueueView : public QueueStatusView
         const TaggedQueue *queue = pe_.inputs_.at(q);
         if (!queue)
             return std::nullopt;
+        if (queue->faultStuckEmpty())
+            return std::nullopt;
         const unsigned depth = pe_.config_.effectiveQueueStatus
                                    ? pe_.pendingDeq_.at(q)
                                    : 0;
@@ -58,6 +65,8 @@ class CycleQueueView : public QueueStatusView
     {
         const TaggedQueue *queue = pe_.outputs_.at(q);
         if (!queue)
+            return false;
+        if (queue->faultStuckFull())
             return false;
         const unsigned pending = pe_.pendingEnq_.at(q);
         // Occupancy the consumer cannot have drained yet this cycle:
@@ -131,6 +140,64 @@ PipelinedPe::inFlight() const
         if (slot.has_value())
             ++count;
     return count;
+}
+
+PeWaitInfo
+PipelinedPe::queueWaits() const
+{
+    PeWaitInfo info;
+    if (halted_)
+        return info;
+
+    CycleQueueView view(*this);
+    auto note_input = [&](unsigned q) {
+        if (std::find(info.waitInputs.begin(), info.waitInputs.end(), q) ==
+            info.waitInputs.end()) {
+            info.waitInputs.push_back(q);
+        }
+    };
+
+    for (const auto &inst : program_) {
+        if (!inst.trigger.valid)
+            continue;
+        // Only instructions whose predicate condition currently holds
+        // can be *waiting* on queues; the rest are simply not eligible.
+        if ((inst.trigger.predOn & ~preds_) != 0 ||
+            (inst.trigger.predOff & preds_) != 0) {
+            continue;
+        }
+        info.predicateEligible = true;
+        if (queueConditionsHold(inst, view)) {
+            info.canFire = true;
+            continue;
+        }
+        // Collect every failing queue condition: empty (or wrong-tag)
+        // inputs and full outputs.
+        for (const auto &check : inst.trigger.queueChecks) {
+            const auto tag = view.inputHeadTag(check.queue);
+            if (view.inputOccupancy(check.queue) == 0 || !tag ||
+                (*tag == check.tag) == check.negate) {
+                note_input(check.queue);
+            }
+        }
+        for (const auto &src : inst.srcs) {
+            if (src.type == SrcType::InputQueue &&
+                view.inputOccupancy(src.index) == 0) {
+                note_input(src.index);
+            }
+        }
+        for (auto q : inst.dequeues) {
+            if (view.inputOccupancy(q) == 0)
+                note_input(q);
+        }
+        if (inst.dst.type == DstType::OutputQueue &&
+            !view.outputHasSpace(inst.dst.index) &&
+            std::find(info.waitOutputs.begin(), info.waitOutputs.end(),
+                      inst.dst.index) == info.waitOutputs.end()) {
+            info.waitOutputs.push_back(inst.dst.index);
+        }
+    }
+    return info;
 }
 
 bool
@@ -284,6 +351,8 @@ PipelinedPe::doWriteback(InFlight &entry)
                 }
             } else {
                 ++counters_.mispredictions;
+                if (entry.faultFlipped)
+                    ++counters_.faultRecoveries;
                 // Everything younger — including any nested
                 // predictions and their contexts — is wrong-path.
                 preds_ = specContexts_.front().fallbackPreds;
@@ -377,7 +446,12 @@ PipelinedPe::issue()
             config_.predictPredicates && config_.shape.depth() > 1;
         if (predict) {
             entry.isPredictor = true;
-            const bool predicted = predictor_.predict(inst.dst.index);
+            bool predicted = predictor_.predict(inst.dst.index);
+            if (faultInjector_ && faultInjector_->flipPrediction(peId_)) {
+                predicted = !predicted;
+                entry.faultFlipped = true;
+                ++counters_.faultsInjected;
+            }
             entry.predictedValue = predicted;
             specContexts_.push_back({entry.id, preds_});
             const std::uint64_t bit = std::uint64_t{1} << inst.dst.index;

@@ -48,6 +48,31 @@
 
 namespace tia {
 
+class FaultInjector;
+
+/**
+ * Why a PE cannot fire this cycle, from the scheduler's own queue
+ * view: the input/output ports its predicate-eligible instructions
+ * are blocked on. Feeds the wait-for graph of sim/hang_diagnosis.hh.
+ */
+struct PeWaitInfo
+{
+    /** Some instruction's predicate condition matches current state. */
+    bool predicateEligible = false;
+    /** Some instruction could fire right now (not actually blocked). */
+    bool canFire = false;
+    /** Input ports whose queues are empty or hold the wrong tag. */
+    std::vector<unsigned> waitInputs;
+    /** Output ports whose queues have no space. */
+    std::vector<unsigned> waitOutputs;
+
+    bool blocked() const
+    {
+        return predicateEligible && !canFire &&
+               (!waitInputs.empty() || !waitOutputs.empty());
+    }
+};
+
 /** A cycle-accurate triggered PE with a configurable pipeline. */
 class PipelinedPe
 {
@@ -59,6 +84,17 @@ class PipelinedPe
     void bindOutput(unsigned port, TaggedQueue *queue);
     void setRegs(const std::vector<Word> &values);
     void setPreds(std::uint64_t preds) { preds_ = preds; }
+
+    /** Install a fault injector; @p id names this PE in the plan. */
+    void
+    setFaultInjector(FaultInjector *injector, unsigned id)
+    {
+        faultInjector_ = injector;
+        peId_ = id;
+    }
+
+    /** Diagnose what (if anything) this PE is blocked on. */
+    PeWaitInfo queueWaits() const;
 
     /** Advance one clock cycle. No-op once halted. */
     void step();
@@ -96,6 +132,7 @@ class PipelinedPe
         unsigned specLevel = 0;
         bool isPredictor = false; ///< Carries one of the predictions.
         bool predictedValue = false;
+        bool faultFlipped = false; ///< Prediction inverted by injection.
         bool didD = false;        ///< Operand capture / dequeue done.
         std::array<Word, 2> operands = {0, 0};
 
@@ -176,6 +213,10 @@ class PipelinedPe
     // Channel bindings.
     std::vector<TaggedQueue *> inputs_;
     std::vector<TaggedQueue *> outputs_;
+
+    // Fault injection (optional, non-owning).
+    FaultInjector *faultInjector_ = nullptr;
+    unsigned peId_ = 0;
 
     PerfCounters counters_;
 };

@@ -1,8 +1,30 @@
 #include "workloads/runner.hh"
 
+#include <optional>
+
 #include "uarch/cycle_fabric.hh"
 
 namespace tia {
+
+const char *
+faultOutcomeName(FaultOutcome outcome)
+{
+    switch (outcome) {
+      case FaultOutcome::None:
+        return "none";
+      case FaultOutcome::Masked:
+        return "masked";
+      case FaultOutcome::Recovered:
+        return "recovered";
+      case FaultOutcome::Corrupted:
+        return "corrupted";
+      case FaultOutcome::Trapped:
+        return "trapped";
+      case FaultOutcome::Hung:
+        return "hung";
+    }
+    return "?";
+}
 
 WorkloadRun
 runFunctional(const Workload &workload, std::uint64_t max_steps)
@@ -29,20 +51,80 @@ runFunctional(const Workload &workload, std::uint64_t max_steps)
 WorkloadRun
 runCycle(const Workload &workload, const PeConfig &uarch, Cycle max_cycles)
 {
-    CycleFabric fabric(workload.config, workload.program, uarch);
-    workload.preload(fabric.memory());
+    CycleRunOptions options;
+    options.maxCycles = max_cycles;
+    return runCycle(workload, uarch, options);
+}
+
+WorkloadRun
+runCycle(const Workload &workload, const PeConfig &uarch,
+         const CycleRunOptions &options)
+{
+    std::optional<FaultInjector> injector;
+    if (options.faults != nullptr && !options.faults->empty())
+        injector.emplace(*options.faults);
 
     WorkloadRun run;
-    run.status = fabric.run(max_cycles);
+    CycleFabric fabric(workload.config, workload.program, uarch,
+                       injector ? &*injector : nullptr);
+    workload.preload(fabric.memory());
+
+    const FabricRunOptions fabric_options{options.maxCycles,
+                                          options.quiescenceWindow};
+    bool trapped = false;
+    if (injector) {
+        // Corrupted tokens can escalate to architectural traps
+        // (out-of-bounds addresses and the like); for injected runs
+        // that is a reportable outcome, not a harness failure.
+        try {
+            run.status = fabric.run(fabric_options);
+        } catch (const FatalError &error) {
+            trapped = true;
+            run.status = RunStatus::StepLimit;
+            run.checkError = std::string("trapped: ") + error.what();
+        }
+    } else {
+        run.status = fabric.run(fabric_options);
+    }
+
+    run.hang = fabric.hangReport();
     run.totalCycles = fabric.now();
     for (unsigned pe = 0; pe < fabric.numPes(); ++pe)
         run.dynamicInstructions.push_back(
             fabric.pe(pe).counters().retired);
     run.worker = fabric.pe(workload.workerPe).counters();
-    if (run.status == RunStatus::Halted)
+    if (trapped) {
+        // checkError already explains the trap.
+    } else if (run.status == RunStatus::Halted) {
         run.checkError = workload.check(fabric.memory());
-    else
+    } else {
         run.checkError = "run did not complete";
+    }
+
+    if (injector) {
+        run.faultStats = injector->stats();
+        std::uint64_t pe_faults = 0;
+        std::uint64_t pe_recoveries = 0;
+        for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+            pe_faults += fabric.pe(pe).counters().faultsInjected;
+            pe_recoveries += fabric.pe(pe).counters().faultRecoveries;
+        }
+        if (options.goldenCrossCheck) {
+            if (trapped) {
+                run.faultOutcome = FaultOutcome::Trapped;
+            } else if (run.status != RunStatus::Halted) {
+                run.faultOutcome = FaultOutcome::Hung;
+            } else if (!run.checkError.empty()) {
+                run.faultOutcome = FaultOutcome::Corrupted;
+            } else if (run.faultStats.totalFired() == 0) {
+                run.faultOutcome = FaultOutcome::None;
+            } else if (pe_recoveries > 0) {
+                run.faultOutcome = FaultOutcome::Recovered;
+            } else {
+                run.faultOutcome = FaultOutcome::Masked;
+            }
+        }
+    }
     return run;
 }
 

@@ -4,17 +4,55 @@
  * cycle-accurate fabric, validate the memory image, and collect the
  * worker PE's counters (the figures the paper reports come from "the
  * designated worker PE", Table 3).
+ *
+ * runCycle optionally runs under a FaultPlan with a golden-model
+ * cross-check: the injected cycle-accurate run is validated against
+ * the workload's golden model and the result is characterized as
+ * masked / recovered / corrupted / trapped / hung, so pipeline
+ * variants can prove how they behave when hazards are provoked.
  */
 
 #ifndef TIA_WORKLOADS_RUNNER_HH
 #define TIA_WORKLOADS_RUNNER_HH
 
+#include "sim/fault.hh"
 #include "sim/functional.hh"
+#include "sim/hang_diagnosis.hh"
 #include "uarch/config.hh"
 #include "uarch/counters.hh"
 #include "workloads/workload.hh"
 
 namespace tia {
+
+/** How an injected run fared against the golden model. */
+enum class FaultOutcome
+{
+    None,      ///< No faults requested (or none fired).
+    Masked,    ///< Faults fired; the architecture absorbed them silently.
+    Recovered, ///< Faults fired and were repaired by recovery machinery.
+    Corrupted, ///< The run completed but the memory image is wrong.
+    Trapped,   ///< A fault escalated to an architectural trap (fatal).
+    Hung,      ///< The run deadlocked, livelocked, or timed out.
+};
+
+/** Human-readable name for a FaultOutcome. */
+const char *faultOutcomeName(FaultOutcome outcome);
+
+/** Options for runCycle (previously hard-coded). */
+struct CycleRunOptions
+{
+    Cycle maxCycles = 100'000'000;
+    Cycle quiescenceWindow = 10'000;
+    /** Fault plan to inject (non-owning; nullptr = clean run). */
+    const FaultPlan *faults = nullptr;
+    /**
+     * After an injected run, re-validate against the golden model and
+     * fill WorkloadRun::faultOutcome. (The memory check itself always
+     * runs; this additionally classifies the failure mode and tolerates
+     * architectural traps raised by corrupted state.)
+     */
+    bool goldenCrossCheck = false;
+};
 
 /** Result of one workload execution. */
 struct WorkloadRun
@@ -28,6 +66,12 @@ struct WorkloadRun
     std::vector<std::uint64_t> dynamicInstructions;
     /** Total cycles simulated (cycle runs). */
     Cycle totalCycles = 0;
+    /** Hang diagnosis for cycle runs (how the run ended). */
+    HangReport hang;
+    /** Outcome classification for injected runs. */
+    FaultOutcome faultOutcome = FaultOutcome::None;
+    /** Per-event injection counts for injected runs. */
+    FaultStats faultStats;
 
     bool ok() const { return status == RunStatus::Halted &&
                              checkError.empty(); }
@@ -40,6 +84,10 @@ WorkloadRun runFunctional(const Workload &workload,
 /** Run cycle-accurately under microarchitecture @p uarch. */
 WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
                      Cycle max_cycles = 100'000'000);
+
+/** Run cycle-accurately with full control (fault injection, watchdog). */
+WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
+                     const CycleRunOptions &options);
 
 } // namespace tia
 

@@ -20,19 +20,31 @@
  *   --dump A[:N]       print N (default 1) memory words from A after
  *                      the run (repeat)
  *   --max-cycles N     simulation budget (default 100,000,000)
+ *   --quiescence N     quiescence/watchdog window in cycles
+ *                      (default 10,000)
+ *   --inject PLAN      fault-injection plan (see sim/fault.hh), e.g.
+ *                      "seed=7;drop:ch0@p0.01;mispredict:pe0@p0.1"
+ *   --watchdog         print the full hang diagnosis (wait-for chain,
+ *                      blocked agents) when a run does not halt
  *
  * Single-PE programs with no wiring options get the conventional port
  * map automatically: read port on %o0/%i0, write port on %o1/%o2.
+ *
+ * Exit codes: 0 halted, 1 error, 2 usage, 3 quiescent (starved),
+ * 4 deadlock, 5 livelock, 6 step limit — so scripts can distinguish
+ * the failure classes.
  */
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/assembler.hh"
 #include "core/logging.hh"
+#include "sim/fault.hh"
 #include "sim/functional.hh"
 #include "uarch/cycle_fabric.hh"
 
@@ -86,7 +98,29 @@ struct Options
     std::vector<std::array<unsigned long, 2>> mems;
     std::vector<std::array<unsigned long, 2>> dumps;
     std::uint64_t maxCycles = 100'000'000;
+    std::uint64_t quiescenceWindow = 10'000;
+    std::string injectPlan;
+    bool watchdog = false;
 };
+
+/** Map a run status to the tool's documented exit code. */
+int
+exitCode(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Halted:
+        return 0;
+      case RunStatus::Quiescent:
+        return 3;
+      case RunStatus::Deadlock:
+        return 4;
+      case RunStatus::Livelock:
+        return 5;
+      case RunStatus::StepLimit:
+        return 6;
+    }
+    return 1;
+}
 
 void
 printCounters(const char *label, const PerfCounters &c)
@@ -105,6 +139,11 @@ printCounters(const char *label, const PerfCounters &c)
         std::printf("  predictions %llu (%.1f%% accurate)\n",
                     static_cast<unsigned long long>(c.predictions),
                     c.predictionAccuracy() * 100.0);
+    }
+    if (c.faultsInjected > 0) {
+        std::printf("  faults injected %llu, recovered %llu\n",
+                    static_cast<unsigned long long>(c.faultsInjected),
+                    static_cast<unsigned long long>(c.faultRecoveries));
     }
 }
 
@@ -169,23 +208,13 @@ run(const Options &opt)
             }
         }
     };
-    auto status_name = [](RunStatus status) {
-        switch (status) {
-          case RunStatus::Halted:
-            return "halted";
-          case RunStatus::Quiescent:
-            return "quiescent (possible deadlock)";
-          case RunStatus::StepLimit:
-            return "step limit reached";
-        }
-        return "?";
-    };
-
     if (opt.uarch == "functional") {
+        fatalIf(!opt.injectPlan.empty(),
+                "--inject requires a cycle-accurate -u microarchitecture");
         FunctionalFabric fabric(config, program);
         preload(fabric.memory());
         const RunStatus status = fabric.run(opt.maxCycles);
-        std::printf("functional simulation: %s\n", status_name(status));
+        std::printf("functional simulation: %s\n", runStatusName(status));
         for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
             std::printf("PE %u: %llu instructions%s\n", pe,
                         static_cast<unsigned long long>(
@@ -193,24 +222,45 @@ run(const Options &opt)
                         fabric.pe(pe).halted() ? " (halted)" : "");
         }
         dump(fabric.memory());
-        return status == RunStatus::Halted ? 0 : 3;
+        return exitCode(status);
     }
 
     const auto uarch = parseConfigName(opt.uarch);
     fatalIf(!uarch.has_value(), "unknown microarchitecture \"",
             opt.uarch, "\" (try e.g. \"TDX\" or \"T|DX +P+Q\")");
-    CycleFabric fabric(config, program, *uarch);
+
+    std::optional<FaultInjector> injector;
+    if (!opt.injectPlan.empty())
+        injector.emplace(FaultPlan::parse(opt.injectPlan));
+
+    CycleFabric fabric(config, program, *uarch,
+                       injector ? &*injector : nullptr);
     preload(fabric.memory());
-    const RunStatus status = fabric.run(opt.maxCycles);
+    const RunStatus status =
+        fabric.run({opt.maxCycles, opt.quiescenceWindow});
     std::printf("%s simulation: %s after %llu cycles\n",
-                uarch->name().c_str(), status_name(status),
+                uarch->name().c_str(), runStatusName(status),
                 static_cast<unsigned long long>(fabric.now()));
+    const HangReport &report = fabric.hangReport();
+    if (!report.summary.empty())
+        std::printf("  %s\n", report.summary.c_str());
+    if (opt.watchdog) {
+        for (const auto &line : report.waitChain)
+            std::printf("  %s\n", line.c_str());
+        for (const auto &agent : report.blockedAgents)
+            std::printf("  blocked: %s\n", agent.c_str());
+    }
     for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
         std::string label = "PE " + std::to_string(pe);
         printCounters(label.c_str(), fabric.pe(pe).counters());
     }
+    if (injector) {
+        std::printf("fault injection (%s):\n%s",
+                    injector->plan().toString().c_str(),
+                    injector->stats().summary().c_str());
+    }
     dump(fabric.memory());
-    return status == RunStatus::Halted ? 0 : 3;
+    return exitCode(status);
 }
 
 } // namespace
@@ -258,6 +308,12 @@ main(int argc, char **argv)
                 opt.dumps.push_back({v[0], v.size() > 1 ? v[1] : 1});
             } else if (arg == "--max-cycles") {
                 opt.maxCycles = std::stoull(next());
+            } else if (arg == "--quiescence") {
+                opt.quiescenceWindow = std::stoull(next());
+            } else if (arg == "--inject") {
+                opt.injectPlan = next();
+            } else if (arg == "--watchdog") {
+                opt.watchdog = true;
             } else if (!arg.empty() && arg[0] != '-' &&
                        opt.program.empty()) {
                 opt.program = arg;
