@@ -27,6 +27,14 @@ main()
 
     const WorkloadSizes sizes = bench::benchSizes();
     const auto suite = allWorkloads(sizes);
+    const auto configs = figure5Configs();
+
+    // The whole uarch x workload product runs on the sweep engine;
+    // the matrix is bit-identical for any jobs count.
+    const CycleMatrix matrix =
+        runCycleMatrix(suite, configs, {}, bench::benchJobs());
+    std::printf("%zu runs on %u worker thread(s) in %.1f ms\n\n",
+                matrix.runs.size(), matrix.jobs, matrix.wallMs);
 
     std::printf("%-18s %-6s %-8s %-8s %-9s %-8s %-9s %-9s\n", "Design",
                 "CPI", "Retired", "Quashed", "PredHaz", "DataHaz",
@@ -34,13 +42,14 @@ main()
 
     double base_depth4 = 0.0;
     double opt_depth4 = 0.0;
-    for (const PeConfig &config : figure5Configs()) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const PeConfig &config = configs[c];
         CpiStack avg;
-        for (const Workload &w : suite) {
-            const WorkloadRun run = runCycle(w, config);
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            const WorkloadRun &run = matrix.run(c, w);
             if (!run.ok()) {
-                std::printf("%s FAILED on %s: %s\n", w.name.c_str(),
-                            config.name().c_str(),
+                std::printf("%s FAILED on %s: %s\n",
+                            suite[w].name.c_str(), config.name().c_str(),
                             run.checkError.c_str());
                 return 1;
             }

@@ -27,8 +27,10 @@ main()
     const WorkloadSizes sizes = bench::benchSizes();
     std::printf("Measuring suite-average CPI on all 32 "
                 "microarchitectures...\n");
-    const DesignSpace dse(suiteAverageCpiTable(sizes));
-    const auto points = dse.enumerate();
+    const unsigned jobs = bench::benchJobs();
+    const DesignSpace dse(
+        suiteAverageCpiTable(sizes, allConfigs(), jobs));
+    const auto points = dse.enumerateParallel(jobs);
 
     double min_e = 1e30, max_e = 0.0, min_d = 1e30, max_d = 0.0;
     std::map<double, std::vector<DesignPoint>> by_vdd;
@@ -42,7 +44,7 @@ main()
 
     std::printf("\nGrid points attempted: %zu; timing-closed design "
                 "points evaluated: %zu (paper: \"over 4,000\")\n",
-                DesignSpace::gridSize(), points.size());
+                dse.gridSize(), points.size());
     std::printf("Energy span: %.2f - %.2f pJ/ins (%.0fx; paper 71x)\n",
                 min_e, max_e, max_e / min_e);
     std::printf("Delay span:  %.2f - %.2f ns/ins (%.0fx; paper 225x)\n\n",

@@ -30,9 +30,12 @@ main()
                   "0.89 pJ/ins; max density 167.6 mW/mm^2");
 
     const WorkloadSizes sizes = bench::benchSizes();
+    const unsigned jobs = bench::benchJobs();
     std::printf("Measuring suite-average CPI...\n\n");
-    const DesignSpace dse(suiteAverageCpiTable(sizes));
-    const auto frontier = DesignSpace::paretoFrontier(dse.enumerate());
+    const DesignSpace dse(
+        suiteAverageCpiTable(sizes, allConfigs(), jobs));
+    const auto frontier =
+        DesignSpace::paretoFrontier(dse.enumerateParallel(jobs));
 
     std::printf("%-18s %-8s %-5s %-7s %9s %10s %8s %9s %10s %9s\n",
                 "Design", "VT", "VDD", "MHz", "ns/ins", "pJ/ins", "mW",

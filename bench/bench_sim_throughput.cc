@@ -10,7 +10,10 @@
 
 #include "core/assembler.hh"
 #include "core/encoding.hh"
+#include "exec/thread_pool.hh"
 #include "uarch/cycle_fabric.hh"
+#include "vlsi/dse.hh"
+#include "workloads/cpi.hh"
 #include "workloads/runner.hh"
 
 namespace {
@@ -90,6 +93,59 @@ BM_EncodeDecode(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EncodeDecode);
+
+// The Figure 5 matrix product on the sweep engine. Arg is the jobs
+// count (0 = hardware concurrency); compare the Arg(1) serial
+// reference against Arg(0) for the parallel wall-clock speedup on
+// multi-core hosts.
+void
+BM_Fig5MatrixSweep(benchmark::State &state)
+{
+    const auto suite = allWorkloads(WorkloadSizes::small());
+    const auto configs = figure5Configs();
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const CycleMatrix matrix =
+            runCycleMatrix(suite, configs, {}, jobs);
+        benchmark::DoNotOptimize(matrix.runs.data());
+        state.counters["runs"] = static_cast<double>(matrix.runs.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(suite.size()) *
+                            static_cast<std::int64_t>(configs.size()));
+    state.SetLabel(jobs == 1 ? "serial"
+                             : std::to_string(jobs == 0
+                                                  ? ThreadPool::
+                                                        defaultConcurrency()
+                                                  : jobs) +
+                                   " jobs");
+}
+BENCHMARK(BM_Fig5MatrixSweep)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The full 32-config DSE enumeration, serial vs parallel.
+void
+BM_DseEnumerate(benchmark::State &state)
+{
+    CpiTable table;
+    for (const PeConfig &config : allConfigs())
+        table[config.name()] = 1.5;
+    const DesignSpace dse(std::move(table));
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto points = dse.enumerateParallel(jobs);
+        benchmark::DoNotOptimize(points.data());
+        state.counters["points"] = static_cast<double>(points.size());
+    }
+}
+BENCHMARK(BM_DseEnumerate)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 } // namespace
 

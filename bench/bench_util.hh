@@ -32,6 +32,20 @@ benchSizes()
     return WorkloadSizes::full();
 }
 
+/**
+ * Sweep worker threads for bench runs: hardware concurrency by
+ * default; set TIA_BENCH_JOBS=N to pin (N=1 forces the serial
+ * reference loop). Results are identical either way.
+ */
+inline unsigned
+benchJobs()
+{
+    const char *jobs = std::getenv("TIA_BENCH_JOBS");
+    if (jobs != nullptr)
+        return static_cast<unsigned>(std::strtoul(jobs, nullptr, 10));
+    return 0; // SweepEngine: hardware concurrency
+}
+
 /** Print a banner naming the reproduced table/figure. */
 inline void
 banner(const char *what, const char *paper_summary)

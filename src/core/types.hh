@@ -25,6 +25,22 @@ using Tag = std::uint8_t;
 /** Simulation time measured in PE clock cycles. */
 using Cycle = std::uint64_t;
 
+/**
+ * Default simulation budget shared by every run entry point
+ * (FabricRunOptions, CycleRunOptions, tia-sim --max-cycles). A single
+ * constant so the same workload cannot classify as a hang from one
+ * entry point and complete from another.
+ */
+inline constexpr Cycle kDefaultMaxCycles = 100'000'000;
+
+/**
+ * Default quiescence/watchdog window: cycles without retirement or
+ * agent activity before a fabric is declared quiescent, and, at the
+ * cycle budget, without observable progress before a run is
+ * classified as livelock.
+ */
+inline constexpr Cycle kDefaultQuiescenceWindow = 10'000;
+
 } // namespace tia
 
 #endif // TIA_CORE_TYPES_HH

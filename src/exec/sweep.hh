@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic parallel sweeps over an index space.
+ *
+ * SweepEngine::map(count, fn) evaluates fn(0) .. fn(count - 1) on a
+ * thread pool and returns the results in submission order, so a
+ * parallel sweep is element-wise identical to the serial loop it
+ * replaces as long as fn(i) itself is a pure function of i — which
+ * every batch entry point in this repo guarantees by constructing its
+ * own CycleFabric, FaultInjector and counters per task. With jobs == 1
+ * the engine degenerates to the plain serial loop on the calling
+ * thread (no pool, no synchronization), which the determinism tests
+ * use as the reference.
+ *
+ * Exceptions thrown by a task are captured and rethrown from map() —
+ * the one with the lowest index, matching what the serial loop would
+ * have thrown first.
+ */
+
+#ifndef TIA_EXEC_SWEEP_HH
+#define TIA_EXEC_SWEEP_HH
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace tia {
+
+/** A completed sweep: values in submission order plus run metadata. */
+template <typename T>
+struct SweepResult
+{
+    std::vector<T> values;
+    unsigned jobs = 1;   ///< Worker threads actually used.
+    double wallMs = 0.0; ///< Wall-clock time of the whole map().
+};
+
+class SweepEngine
+{
+  public:
+    /** @param jobs worker threads; 0 means ThreadPool::defaultConcurrency. */
+    explicit SweepEngine(unsigned jobs = 0)
+        : jobs_(jobs == 0 ? ThreadPool::defaultConcurrency() : jobs)
+    {
+    }
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Evaluate @p fn over [0, count) and return the results in index
+     * order. @p fn must be safe to call concurrently from multiple
+     * threads for distinct indices.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn &&fn) const
+        -> SweepResult<decltype(fn(std::size_t{}))>
+    {
+        using T = decltype(fn(std::size_t{}));
+        const auto start = std::chrono::steady_clock::now();
+
+        SweepResult<T> result;
+        result.jobs = count < jobs_ ? static_cast<unsigned>(
+                                          count == 0 ? 1 : count)
+                                    : jobs_;
+        std::vector<std::optional<T>> slots(count);
+        std::vector<std::exception_ptr> errors(count);
+
+        if (result.jobs <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                slots[i].emplace(fn(i));
+        } else {
+            ThreadPool pool(result.jobs);
+            for (std::size_t i = 0; i < count; ++i) {
+                pool.submit([&, i] {
+                    try {
+                        slots[i].emplace(fn(i));
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                });
+            }
+            pool.wait();
+            for (std::size_t i = 0; i < count; ++i) {
+                if (errors[i])
+                    std::rethrow_exception(errors[i]);
+            }
+        }
+
+        result.values.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            result.values.push_back(std::move(*slots[i]));
+        result.wallMs =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        return result;
+    }
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace tia
+
+#endif // TIA_EXEC_SWEEP_HH

@@ -1,0 +1,76 @@
+#include "exec/thread_pool.hh"
+
+namespace tia {
+
+unsigned
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultConcurrency();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) // stopping_ and drained
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                allIdle_.notify_all();
+        }
+    }
+}
+
+} // namespace tia

@@ -32,14 +32,14 @@ namespace tia {
 /** Knobs for CycleFabric::run (previously hard-coded defaults). */
 struct FabricRunOptions
 {
-    /** Simulation budget in cycles. */
-    Cycle maxCycles = 50'000'000;
+    /** Simulation budget in cycles (core/types.hh, shared default). */
+    Cycle maxCycles = kDefaultMaxCycles;
     /**
      * Cycles without retirement or agent activity before the fabric
      * is declared quiescent — and, at the step limit, cycles without
      * observable progress before a run is classified as livelock.
      */
-    Cycle quiescenceWindow = 10'000;
+    Cycle quiescenceWindow = kDefaultQuiescenceWindow;
 };
 
 /** A full cycle-accurate fabric running one microarchitecture. */
@@ -73,7 +73,8 @@ class CycleFabric
 
     /** Convenience overload with the historical signature. */
     RunStatus
-    run(Cycle max_cycles = 50'000'000, Cycle quiescence_window = 10'000)
+    run(Cycle max_cycles = kDefaultMaxCycles,
+        Cycle quiescence_window = kDefaultQuiescenceWindow)
     {
         return run(FabricRunOptions{max_cycles, quiescence_window});
     }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/logging.hh"
+#include "exec/sweep.hh"
 #include "vlsi/timing.hh"
 
 namespace tia {
@@ -51,8 +52,11 @@ DesignSpace::supplyGrid(VtClass vt)
     return {0.4, 0.6, 0.8, 1.0};
 }
 
+namespace {
+
+/** The methodology frequency grid, refined around @p tech's thresholds. */
 std::vector<double>
-DesignSpace::frequencyGridMhz(VtClass vt, double vdd)
+gridFor(VtClass vt, double vdd, const TechModel &tech)
 {
     std::vector<double> grid;
     // Base grid: 100 MHz to 1.5 GHz at 100 MHz granularity.
@@ -60,7 +64,6 @@ DesignSpace::frequencyGridMhz(VtClass vt, double vdd)
         grid.push_back(f);
     // Near-threshold refinement: 50 MHz granularity up through
     // 500 MHz.
-    const TechModel tech;
     const bool near_threshold = vdd <= tech.thresholdV(vt) + 0.35;
     if (near_threshold) {
         for (double f = 150.0; f <= 450.0; f += 100.0)
@@ -76,8 +79,22 @@ DesignSpace::frequencyGridMhz(VtClass vt, double vdd)
     return grid;
 }
 
+} // namespace
+
+std::vector<double>
+DesignSpace::frequencyGridMhz(VtClass vt, double vdd) const
+{
+    return gridFor(vt, vdd, tech_);
+}
+
+std::vector<double>
+DesignSpace::defaultFrequencyGridMhz(VtClass vt, double vdd)
+{
+    return gridFor(vt, vdd, TechModel{});
+}
+
 std::size_t
-DesignSpace::gridSize(const std::vector<PeConfig> &configs)
+DesignSpace::gridSize(const std::vector<PeConfig> &configs) const
 {
     std::size_t count = 0;
     for (VtClass vt : {VtClass::Low, VtClass::Standard, VtClass::High}) {
@@ -90,20 +107,51 @@ DesignSpace::gridSize(const std::vector<PeConfig> &configs)
 std::vector<DesignPoint>
 DesignSpace::enumerate(const std::vector<PeConfig> &configs) const
 {
-    std::vector<DesignPoint> points;
+    return enumerateParallel(1, configs);
+}
+
+std::vector<DesignPoint>
+DesignSpace::enumerateParallel(unsigned jobs,
+                               const std::vector<PeConfig> &configs) const
+{
+    // One shard per (config, vt, vdd): big enough to amortize task
+    // dispatch, and the concatenation order equals the serial loop
+    // nest's point order.
+    struct Shard
+    {
+        const PeConfig *config;
+        VtClass vt;
+        double vdd;
+    };
+    std::vector<Shard> shards;
     for (const PeConfig &config : configs) {
         for (VtClass vt :
              {VtClass::Low, VtClass::Standard, VtClass::High}) {
-            for (double vdd : supplyGrid(vt)) {
-                const double fmax =
-                    maxFrequencyMhz(config, vdd, vt, tech_);
-                for (double f : frequencyGridMhz(vt, vdd)) {
-                    if (f > fmax)
-                        break;
-                    points.push_back(evaluate(config, vt, vdd, f));
-                }
-            }
+            for (double vdd : supplyGrid(vt))
+                shards.push_back({&config, vt, vdd});
         }
+    }
+
+    const SweepEngine engine(jobs);
+    auto sweep = engine.map(shards.size(), [&](std::size_t i) {
+        const Shard &shard = shards[i];
+        std::vector<DesignPoint> points;
+        const double fmax =
+            maxFrequencyMhz(*shard.config, shard.vdd, shard.vt, tech_);
+        for (double f : frequencyGridMhz(shard.vt, shard.vdd)) {
+            if (f > fmax)
+                break;
+            points.push_back(
+                evaluate(*shard.config, shard.vt, shard.vdd, f));
+        }
+        return points;
+    });
+
+    std::vector<DesignPoint> points;
+    for (std::vector<DesignPoint> &shard_points : sweep.values) {
+        points.insert(points.end(),
+                      std::make_move_iterator(shard_points.begin()),
+                      std::make_move_iterator(shard_points.end()));
     }
     return points;
 }

@@ -58,7 +58,15 @@ struct DesignPoint
 class DesignSpace
 {
   public:
-    explicit DesignSpace(CpiTable cpi) : cpi_(std::move(cpi)) {}
+    /**
+     * @param cpi  per-microarchitecture CPI measurements.
+     * @param tech technology corner used for timing closure *and* for
+     *             placing the near/sub-threshold grid refinements.
+     */
+    explicit DesignSpace(CpiTable cpi, TechModel tech = TechModel{})
+        : cpi_(std::move(cpi)), tech_(tech)
+    {
+    }
 
     /** Evaluate one operating point (frequency must be <= max). */
     DesignPoint evaluate(const PeConfig &config, VtClass vt, double vdd,
@@ -71,16 +79,41 @@ class DesignSpace
     std::vector<DesignPoint>
     enumerate(const std::vector<PeConfig> &configs = allConfigs()) const;
 
-    /** Frequency grid for one (vt, vdd) per the methodology. */
-    static std::vector<double> frequencyGridMhz(VtClass vt, double vdd);
+    /**
+     * enumerate() fanned out over a SweepEngine, sharded by
+     * (config, vt, vdd); point order and values are element-wise
+     * identical to the serial enumerate().
+     * @param jobs worker threads (0 = hardware concurrency).
+     */
+    std::vector<DesignPoint>
+    enumerateParallel(unsigned jobs,
+                      const std::vector<PeConfig> &configs =
+                          allConfigs()) const;
+
+    /**
+     * Frequency grid for one (vt, vdd) per the methodology. The
+     * near-threshold and subthreshold refinements are placed relative
+     * to *this sweep's* tech model, not the nominal one.
+     */
+    std::vector<double> frequencyGridMhz(VtClass vt, double vdd) const;
+
+    /**
+     * @deprecated Nominal-corner shim for the old static interface;
+     * refines around the default TechModel's thresholds regardless of
+     * the sweep's corner. Use the member frequencyGridMhz().
+     */
+    [[deprecated("use the member frequencyGridMhz(), which respects "
+                 "the sweep's tech model")]]
+    static std::vector<double> defaultFrequencyGridMhz(VtClass vt,
+                                                       double vdd);
 
     /**
      * Number of (config, vt, vdd, f) grid points attempted, i.e. the
      * size of the characterization sweep before timing-closure
      * pruning (the paper's "over 4,000 design points").
      */
-    static std::size_t
-    gridSize(const std::vector<PeConfig> &configs = allConfigs());
+    std::size_t
+    gridSize(const std::vector<PeConfig> &configs = allConfigs()) const;
 
     /** Supply grid per VT library per the methodology. */
     static std::vector<double> supplyGrid(VtClass vt);
@@ -95,6 +128,8 @@ class DesignSpace
     double cpiFor(const PeConfig &config) const;
 
     const AreaPowerModel &areaPower() const { return model_; }
+
+    const TechModel &tech() const { return tech_; }
 
   private:
     CpiTable cpi_;

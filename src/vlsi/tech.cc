@@ -25,11 +25,11 @@ TechModel::thresholdV(VtClass vt) const
 {
     switch (vt) {
       case VtClass::Low:
-        return kVthLow;
+        return vthLow_;
       case VtClass::Standard:
-        return kVthStd;
+        return vthStd_;
       case VtClass::High:
-        return kVthHigh;
+        return vthHigh_;
     }
     panic("bad VT class");
 }

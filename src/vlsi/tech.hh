@@ -39,6 +39,22 @@ const char *vtName(VtClass vt);
 class TechModel
 {
   public:
+    /** The nominal 65 nm GP-flavored corner. */
+    TechModel() = default;
+
+    /**
+     * A process-skewed corner: per-class threshold voltages in volts.
+     * Delay and leakage stay normalized to the *nominal* standard-VT
+     * library (the calibration anchors are properties of the flow, not
+     * of the corner), so skewing VT moves the near/sub-threshold
+     * boundaries — which is what the DSE frequency grids refine
+     * around.
+     */
+    TechModel(double vth_low, double vth_std, double vth_high)
+        : vthLow_(vth_low), vthStd_(vth_std), vthHigh_(vth_high)
+    {
+    }
+
     /**
      * FO4 inverter delay in picoseconds at @p vdd for @p vt.
      *
@@ -63,10 +79,14 @@ class TechModel
   private:
     double effectiveCurrent(double vdd, VtClass vt) const;
 
-    // Threshold voltages per class (65 nm GP-flavored).
+    // Nominal threshold voltages per class (65 nm GP-flavored).
     static constexpr double kVthLow = 0.22;
     static constexpr double kVthStd = 0.33;
     static constexpr double kVthHigh = 0.45;
+
+    double vthLow_ = kVthLow;
+    double vthStd_ = kVthStd;
+    double vthHigh_ = kVthHigh;
 
     static constexpr double kThermalV = 0.026; ///< phi_t at ~300 K.
     static constexpr double kSubthresholdSlope = 1.45; ///< n.

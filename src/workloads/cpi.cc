@@ -7,34 +7,36 @@ namespace tia {
 
 CpiTable
 measureCpiTable(const WorkloadSizes &sizes,
-                const std::vector<PeConfig> &configs)
+                const std::vector<PeConfig> &configs, unsigned jobs)
 {
-    const Workload bst = makeBst(sizes);
+    const std::vector<Workload> bst = {makeBst(sizes)};
+    const CycleMatrix matrix = runCycleMatrix(bst, configs, {}, jobs);
     CpiTable table;
-    for (const PeConfig &config : configs) {
-        const WorkloadRun run = runCycle(bst, config);
-        fatalIf(!run.ok(), "bst failed on ", config.name(), ": ",
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const WorkloadRun &run = matrix.run(c, 0);
+        fatalIf(!run.ok(), "bst failed on ", configs[c].name(), ": ",
                 run.checkError);
-        table[config.name()] = run.worker.cpi();
+        table[configs[c].name()] = run.worker.cpi();
     }
     return table;
 }
 
 CpiTable
 suiteAverageCpiTable(const WorkloadSizes &sizes,
-                     const std::vector<PeConfig> &configs)
+                     const std::vector<PeConfig> &configs, unsigned jobs)
 {
     const auto suite = allWorkloads(sizes);
+    const CycleMatrix matrix = runCycleMatrix(suite, configs, {}, jobs);
     CpiTable table;
-    for (const PeConfig &config : configs) {
+    for (std::size_t c = 0; c < configs.size(); ++c) {
         double sum = 0.0;
-        for (const Workload &workload : suite) {
-            const WorkloadRun run = runCycle(workload, config);
-            fatalIf(!run.ok(), workload.name, " failed on ",
-                    config.name(), ": ", run.checkError);
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            const WorkloadRun &run = matrix.run(c, w);
+            fatalIf(!run.ok(), suite[w].name, " failed on ",
+                    configs[c].name(), ": ", run.checkError);
             sum += run.worker.cpi();
         }
-        table[config.name()] = sum / static_cast<double>(suite.size());
+        table[configs[c].name()] = sum / static_cast<double>(suite.size());
     }
     return table;
 }

@@ -18,15 +18,21 @@
 
 namespace tia {
 
-/** Worker-PE CPI of bst on each of @p configs. */
+/**
+ * Worker-PE CPI of bst on each of @p configs.
+ * @param jobs sweep worker threads (0 = hardware concurrency,
+ *             1 = serial); any value yields identical tables.
+ */
 CpiTable measureCpiTable(const WorkloadSizes &sizes,
                          const std::vector<PeConfig> &configs =
-                             allConfigs());
+                             allConfigs(),
+                         unsigned jobs = 1);
 
 /** Worker-PE CPI averaged over the full suite (ablation support). */
 CpiTable suiteAverageCpiTable(const WorkloadSizes &sizes,
                               const std::vector<PeConfig> &configs =
-                                  allConfigs());
+                                  allConfigs(),
+                              unsigned jobs = 1);
 
 } // namespace tia
 

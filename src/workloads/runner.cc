@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "exec/sweep.hh"
 #include "uarch/cycle_fabric.hh"
 
 namespace tia {
@@ -126,6 +127,28 @@ runCycle(const Workload &workload, const PeConfig &uarch,
         }
     }
     return run;
+}
+
+CycleMatrix
+runCycleMatrix(const std::vector<Workload> &workloads,
+               const std::vector<PeConfig> &configs,
+               const CycleRunOptions &options, unsigned jobs)
+{
+    CycleMatrix matrix;
+    matrix.numConfigs = configs.size();
+    matrix.numWorkloads = workloads.size();
+
+    const SweepEngine engine(jobs);
+    auto sweep = engine.map(
+        configs.size() * workloads.size(), [&](std::size_t i) {
+            const std::size_t c = i / workloads.size();
+            const std::size_t w = i % workloads.size();
+            return runCycle(workloads[w], configs[c], options);
+        });
+    matrix.runs = std::move(sweep.values);
+    matrix.jobs = sweep.jobs;
+    matrix.wallMs = sweep.wallMs;
+    return matrix;
 }
 
 } // namespace tia

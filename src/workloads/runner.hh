@@ -41,8 +41,13 @@ const char *faultOutcomeName(FaultOutcome outcome);
 /** Options for runCycle (previously hard-coded). */
 struct CycleRunOptions
 {
-    Cycle maxCycles = 100'000'000;
-    Cycle quiescenceWindow = 10'000;
+    /**
+     * Simulation budget; kDefaultMaxCycles (core/types.hh) is shared
+     * with FabricRunOptions so hang classification does not depend on
+     * the entry point.
+     */
+    Cycle maxCycles = kDefaultMaxCycles;
+    Cycle quiescenceWindow = kDefaultQuiescenceWindow;
     /** Fault plan to inject (non-owning; nullptr = clean run). */
     const FaultPlan *faults = nullptr;
     /**
@@ -83,11 +88,44 @@ WorkloadRun runFunctional(const Workload &workload,
 
 /** Run cycle-accurately under microarchitecture @p uarch. */
 WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
-                     Cycle max_cycles = 100'000'000);
+                     Cycle max_cycles = kDefaultMaxCycles);
 
 /** Run cycle-accurately with full control (fault injection, watchdog). */
 WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
                      const CycleRunOptions &options);
+
+/**
+ * The uarch x workload batch product behind the Figure 5 CPI stacks,
+ * run on a SweepEngine. Cell (c, w) is runCycle(workloads[w],
+ * configs[c], options); every task owns its fabric, fault-injector RNG
+ * and counters, so the matrix is element-wise bit-identical for any
+ * jobs count (asserted by tests/test_sweep_engine.cc).
+ */
+struct CycleMatrix
+{
+    /** Row-major cells: run(c, w) = runs[c * numWorkloads + w]. */
+    std::vector<WorkloadRun> runs;
+    std::size_t numConfigs = 0;
+    std::size_t numWorkloads = 0;
+    unsigned jobs = 1;   ///< Worker threads used.
+    double wallMs = 0.0; ///< Wall-clock time of the whole matrix.
+
+    const WorkloadRun &
+    run(std::size_t config, std::size_t workload) const
+    {
+        return runs.at(config * numWorkloads + workload);
+    }
+};
+
+/**
+ * Run every workload under every microarchitecture.
+ * @param jobs worker threads; 0 = hardware concurrency, 1 = serial
+ *             reference loop.
+ */
+CycleMatrix runCycleMatrix(const std::vector<Workload> &workloads,
+                           const std::vector<PeConfig> &configs,
+                           const CycleRunOptions &options = {},
+                           unsigned jobs = 1);
 
 } // namespace tia
 

@@ -208,14 +208,15 @@ TEST(Dse, GridMatchesMethodologyShape)
     EXPECT_EQ(DesignSpace::supplyGrid(VtClass::Standard).size(), 5u);
     EXPECT_EQ(DesignSpace::supplyGrid(VtClass::Low).size(), 4u);
     EXPECT_EQ(DesignSpace::supplyGrid(VtClass::High).size(), 4u);
-    const auto base = DesignSpace::frequencyGridMhz(VtClass::Standard, 1.0);
+    const DesignSpace dse(flatCpi(1.5));
+    const auto base = dse.frequencyGridMhz(VtClass::Standard, 1.0);
     EXPECT_EQ(base.size(), 15u);
     EXPECT_EQ(base.front(), 100.0);
     EXPECT_EQ(base.back(), 1500.0);
-    const auto sub = DesignSpace::frequencyGridMhz(VtClass::High, 0.4);
+    const auto sub = dse.frequencyGridMhz(VtClass::High, 0.4);
     EXPECT_EQ(sub.front(), 10.0);
     // The attempted grid exceeds the paper's 4,000-point count.
-    EXPECT_GT(DesignSpace::gridSize(), 4000u);
+    EXPECT_GT(dse.gridSize(), 4000u);
 }
 
 TEST(Dse, EvaluateRejectsFrequenciesAboveClosure)

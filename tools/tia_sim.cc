@@ -8,8 +8,15 @@
  *
  * Options:
  *   -p FILE            parameter file (Table 1 keys)
- *   -u NAME            microarchitecture ("functional" by default;
- *                      e.g. "TDX", "T|DX +P+Q", "T|D|X1|X2 +P+N+Q")
+ *   -u NAMES           microarchitecture ("functional" by default;
+ *                      e.g. "TDX", "T|DX +P+Q", "T|D|X1|X2 +P+N+Q").
+ *                      A comma-separated list (or "all" for all 32
+ *                      configurations) sweeps the program over every
+ *                      named microarchitecture.
+ *   --jobs N           worker threads for multi-uarch sweeps
+ *                      (default: hardware concurrency). Results are
+ *                      printed in list order and are bit-identical to
+ *                      a serial sweep.
  *   --pes N            fabric size (default: as many PEs as the
  *                      program targets)
  *   --connect A.O:B.I  wire PE A output O to PE B input I (repeat)
@@ -19,7 +26,8 @@
  *   --mem A=V          preload memory word A with V (repeat)
  *   --dump A[:N]       print N (default 1) memory words from A after
  *                      the run (repeat)
- *   --max-cycles N     simulation budget (default 100,000,000)
+ *   --max-cycles N     simulation budget (default 100,000,000 — the
+ *                      shared kDefaultMaxCycles)
  *   --quiescence N     quiescence/watchdog window in cycles
  *                      (default 10,000)
  *   --inject PLAN      fault-injection plan (see sim/fault.hh), e.g.
@@ -32,9 +40,11 @@
  *
  * Exit codes: 0 halted, 1 error, 2 usage, 3 quiescent (starved),
  * 4 deadlock, 5 livelock, 6 step limit — so scripts can distinguish
- * the failure classes.
+ * the failure classes. A multi-uarch sweep exits with the worst
+ * (highest) per-run code.
  */
 
+#include <cstdarg>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -44,6 +54,7 @@
 
 #include "core/assembler.hh"
 #include "core/logging.hh"
+#include "exec/sweep.hh"
 #include "sim/fault.hh"
 #include "sim/functional.hh"
 #include "uarch/cycle_fabric.hh"
@@ -60,6 +71,19 @@ readFile(const std::string &path)
     std::ostringstream buffer;
     buffer << in.rdbuf();
     return buffer.str();
+}
+
+/** printf into a growing string (per-run output is buffered so a
+ *  parallel sweep prints deterministically in list order). */
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out += buf;
 }
 
 /** Split "12.3:4.5"-style argument forms on the given separators. */
@@ -85,20 +109,46 @@ numbers(const std::string &text, const std::string &separators)
     return values;
 }
 
+/** Split a comma-separated -u list, trimming surrounding blanks. */
+std::vector<std::string>
+splitUarchList(const std::string &text)
+{
+    std::vector<std::string> names;
+    std::string current;
+    auto flush = [&] {
+        const auto begin = current.find_first_not_of(' ');
+        const auto end = current.find_last_not_of(' ');
+        fatalIf(begin == std::string::npos, "empty -u list entry in \"",
+                text, "\"");
+        names.push_back(current.substr(begin, end - begin + 1));
+        current.clear();
+    };
+    for (char c : text) {
+        if (c == ',') {
+            flush();
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return names;
+}
+
 struct Options
 {
     std::string program;
     std::string paramsPath;
     std::string uarch = "functional";
     unsigned pes = 0;
+    unsigned jobs = 0; ///< Sweep workers; 0 = hardware concurrency.
     std::vector<std::array<unsigned long, 4>> connects;
     std::vector<std::array<unsigned long, 3>> readPorts;
     std::vector<std::array<unsigned long, 3>> writePorts;
     std::vector<std::array<unsigned long, 3>> regs;
     std::vector<std::array<unsigned long, 2>> mems;
     std::vector<std::array<unsigned long, 2>> dumps;
-    std::uint64_t maxCycles = 100'000'000;
-    std::uint64_t quiescenceWindow = 10'000;
+    std::uint64_t maxCycles = kDefaultMaxCycles;
+    std::uint64_t quiescenceWindow = kDefaultQuiescenceWindow;
     std::string injectPlan;
     bool watchdog = false;
 };
@@ -123,27 +173,28 @@ exitCode(RunStatus status)
 }
 
 void
-printCounters(const char *label, const PerfCounters &c)
+printCounters(std::string &out, const char *label, const PerfCounters &c)
 {
-    std::printf("%s: cycles %llu, retired %llu, CPI %.3f\n", label,
-                static_cast<unsigned long long>(c.cycles),
-                static_cast<unsigned long long>(c.retired), c.cpi());
-    std::printf("  quashed %llu, predicate-hazard %llu, data-hazard "
-                "%llu, forbidden %llu, no-trigger %llu\n",
-                static_cast<unsigned long long>(c.quashed),
-                static_cast<unsigned long long>(c.predicateHazard),
-                static_cast<unsigned long long>(c.dataHazard),
-                static_cast<unsigned long long>(c.forbidden),
-                static_cast<unsigned long long>(c.noTrigger));
+    appendf(out, "%s: cycles %llu, retired %llu, CPI %.3f\n", label,
+            static_cast<unsigned long long>(c.cycles),
+            static_cast<unsigned long long>(c.retired), c.cpi());
+    appendf(out,
+            "  quashed %llu, predicate-hazard %llu, data-hazard "
+            "%llu, forbidden %llu, no-trigger %llu\n",
+            static_cast<unsigned long long>(c.quashed),
+            static_cast<unsigned long long>(c.predicateHazard),
+            static_cast<unsigned long long>(c.dataHazard),
+            static_cast<unsigned long long>(c.forbidden),
+            static_cast<unsigned long long>(c.noTrigger));
     if (c.predictions > 0) {
-        std::printf("  predictions %llu (%.1f%% accurate)\n",
-                    static_cast<unsigned long long>(c.predictions),
-                    c.predictionAccuracy() * 100.0);
+        appendf(out, "  predictions %llu (%.1f%% accurate)\n",
+                static_cast<unsigned long long>(c.predictions),
+                c.predictionAccuracy() * 100.0);
     }
     if (c.faultsInjected > 0) {
-        std::printf("  faults injected %llu, recovered %llu\n",
-                    static_cast<unsigned long long>(c.faultsInjected),
-                    static_cast<unsigned long long>(c.faultRecoveries));
+        appendf(out, "  faults injected %llu, recovered %llu\n",
+                static_cast<unsigned long long>(c.faultsInjected),
+                static_cast<unsigned long long>(c.faultRecoveries));
     }
 }
 
@@ -198,13 +249,13 @@ run(const Options &opt)
             memory.write(static_cast<Word>(m[0]),
                          static_cast<Word>(m[1]));
     };
-    auto dump = [&](const Memory &memory) {
+    auto dump = [&](std::string &out, const Memory &memory) {
         for (const auto &d : opt.dumps) {
             const unsigned long count = d[1] ? d[1] : 1;
             for (unsigned long i = 0; i < count; ++i) {
                 const Word addr = static_cast<Word>(d[0] + i);
-                std::printf("mem[%u] = %u (0x%08x)\n", addr,
-                            memory.read(addr), memory.read(addr));
+                appendf(out, "mem[%u] = %u (0x%08x)\n", addr,
+                        memory.read(addr), memory.read(addr));
             }
         }
     };
@@ -221,46 +272,89 @@ run(const Options &opt)
                             fabric.pe(pe).dynamicInstructions()),
                         fabric.pe(pe).halted() ? " (halted)" : "");
         }
-        dump(fabric.memory());
+        std::string text;
+        dump(text, fabric.memory());
+        std::fputs(text.c_str(), stdout);
         return exitCode(status);
     }
 
-    const auto uarch = parseConfigName(opt.uarch);
-    fatalIf(!uarch.has_value(), "unknown microarchitecture \"",
-            opt.uarch, "\" (try e.g. \"TDX\" or \"T|DX +P+Q\")");
+    // Resolve the microarchitecture sweep list up front so a typo
+    // fails before any simulation starts.
+    std::vector<PeConfig> uarchs;
+    for (const std::string &name : splitUarchList(opt.uarch)) {
+        if (name == "all") {
+            const auto all = allConfigs();
+            uarchs.insert(uarchs.end(), all.begin(), all.end());
+            continue;
+        }
+        fatalIf(name == "functional",
+                "\"functional\" cannot appear in a multi-uarch sweep");
+        const auto uarch = parseConfigName(name);
+        fatalIf(!uarch.has_value(), "unknown microarchitecture \"", name,
+                "\" (try e.g. \"TDX\", \"T|DX +P+Q\", or \"all\")");
+        uarchs.push_back(*uarch);
+    }
 
-    std::optional<FaultInjector> injector;
+    std::optional<FaultPlan> plan;
     if (!opt.injectPlan.empty())
-        injector.emplace(FaultPlan::parse(opt.injectPlan));
+        plan.emplace(FaultPlan::parse(opt.injectPlan));
 
-    CycleFabric fabric(config, program, *uarch,
-                       injector ? &*injector : nullptr);
-    preload(fabric.memory());
-    const RunStatus status =
-        fabric.run({opt.maxCycles, opt.quiescenceWindow});
-    std::printf("%s simulation: %s after %llu cycles\n",
-                uarch->name().c_str(), runStatusName(status),
+    // One task per microarchitecture; each owns its fabric and
+    // injector, so the sweep result does not depend on --jobs.
+    auto simulate = [&](std::size_t index) {
+        const PeConfig &uarch = uarchs[index];
+        std::optional<FaultInjector> injector;
+        if (plan)
+            injector.emplace(*plan);
+
+        CycleFabric fabric(config, program, uarch,
+                           injector ? &*injector : nullptr);
+        preload(fabric.memory());
+        const RunStatus status =
+            fabric.run({opt.maxCycles, opt.quiescenceWindow});
+
+        std::string text;
+        appendf(text, "%s simulation: %s after %llu cycles\n",
+                uarch.name().c_str(), runStatusName(status),
                 static_cast<unsigned long long>(fabric.now()));
-    const HangReport &report = fabric.hangReport();
-    if (!report.summary.empty())
-        std::printf("  %s\n", report.summary.c_str());
-    if (opt.watchdog) {
-        for (const auto &line : report.waitChain)
-            std::printf("  %s\n", line.c_str());
-        for (const auto &agent : report.blockedAgents)
-            std::printf("  blocked: %s\n", agent.c_str());
-    }
-    for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
-        std::string label = "PE " + std::to_string(pe);
-        printCounters(label.c_str(), fabric.pe(pe).counters());
-    }
-    if (injector) {
-        std::printf("fault injection (%s):\n%s",
+        const HangReport &report = fabric.hangReport();
+        if (!report.summary.empty())
+            appendf(text, "  %s\n", report.summary.c_str());
+        if (opt.watchdog) {
+            for (const auto &line : report.waitChain)
+                appendf(text, "  %s\n", line.c_str());
+            for (const auto &agent : report.blockedAgents)
+                appendf(text, "  blocked: %s\n", agent.c_str());
+        }
+        for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+            std::string label = "PE " + std::to_string(pe);
+            printCounters(text, label.c_str(), fabric.pe(pe).counters());
+        }
+        if (injector) {
+            appendf(text, "fault injection (%s):\n%s",
                     injector->plan().toString().c_str(),
                     injector->stats().summary().c_str());
+        }
+        dump(text, fabric.memory());
+        return std::make_pair(exitCode(status), std::move(text));
+    };
+
+    const SweepEngine engine(uarchs.size() == 1 ? 1 : opt.jobs);
+    const auto sweep = engine.map(uarchs.size(), simulate);
+
+    int worst = 0;
+    for (std::size_t i = 0; i < sweep.values.size(); ++i) {
+        if (i > 0)
+            std::printf("\n");
+        std::fputs(sweep.values[i].second.c_str(), stdout);
+        worst = std::max(worst, sweep.values[i].first);
     }
-    dump(fabric.memory());
-    return exitCode(status);
+    if (uarchs.size() > 1) {
+        std::printf("\nswept %zu microarchitectures on %u worker "
+                    "thread(s) in %.1f ms\n",
+                    uarchs.size(), sweep.jobs, sweep.wallMs);
+    }
+    return worst;
 }
 
 } // namespace
@@ -282,6 +376,8 @@ main(int argc, char **argv)
                 opt.uarch = next();
             } else if (arg == "--pes") {
                 opt.pes = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--jobs") {
+                opt.jobs = static_cast<unsigned>(std::stoul(next()));
             } else if (arg == "--connect") {
                 const auto v = numbers(next(), ".:");
                 fatalIf(v.size() != 4, "--connect wants A.O:B.I");

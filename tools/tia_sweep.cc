@@ -1,0 +1,294 @@
+/**
+ * @file
+ * tia-sweep: batch sweep driver emitting machine-readable JSON.
+ *
+ * Runs the full uarch x workload CPI matrix (the Figure 5 product)
+ * and the VLSI design-space exploration (Figures 6-8) on the parallel
+ * sweep engine, and emits one JSON document with the matrix, the
+ * attempted/evaluated design-point counts and the energy-delay Pareto
+ * frontier. Results are bit-identical for any --jobs value; the
+ * wall_ms fields are the measured sweep times (the speedup evidence
+ * on multi-core hosts).
+ *
+ *   tia-sweep [options]
+ *
+ * Options:
+ *   --jobs N     worker threads (default: hardware concurrency)
+ *   --small      reduced workload sizes (fast smoke pass)
+ *   --configs X  "all" (default), "fig5", or a comma-separated list
+ *                of microarchitecture names
+ *   --suite-cpi  drive the DSE with suite-average CPI instead of the
+ *                paper's bst-only methodology
+ *   --no-dse     emit only the CPI matrix
+ *   --out FILE   write the JSON to FILE instead of stdout
+ *
+ * The JSON schema is documented in docs/sweep_engine.md
+ * ("tia-sweep/v1").
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/logging.hh"
+#include "exec/thread_pool.hh"
+#include "sim/functional.hh"
+#include "vlsi/dse.hh"
+#include "workloads/cpi.hh"
+#include "workloads/runner.hh"
+
+namespace {
+
+using namespace tia;
+
+struct Options
+{
+    unsigned jobs = 0; ///< 0 = hardware concurrency.
+    bool small = false;
+    bool suiteCpi = false;
+    bool dse = true;
+    std::string configs = "all";
+    std::string outPath;
+};
+
+std::vector<PeConfig>
+parseConfigList(const std::string &text)
+{
+    if (text == "all")
+        return allConfigs();
+    if (text == "fig5")
+        return figure5Configs();
+    std::vector<PeConfig> configs;
+    std::string current;
+    auto flush = [&] {
+        const auto uarch = parseConfigName(current);
+        fatalIf(!uarch.has_value(), "unknown microarchitecture \"",
+                current, "\" in --configs");
+        configs.push_back(*uarch);
+        current.clear();
+    };
+    for (char c : text) {
+        if (c == ',') {
+            flush();
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return configs;
+}
+
+/** Append a JSON-quoted string (names here never need escaping). */
+void
+jsonString(std::string &out, const std::string &value)
+{
+    out += '"';
+    out += value;
+    out += '"';
+}
+
+void
+jsonNumber(std::string &out, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    out += buf;
+}
+
+int
+run(const Options &opt)
+{
+    const WorkloadSizes sizes =
+        opt.small ? WorkloadSizes::small() : WorkloadSizes::full();
+    const std::vector<PeConfig> configs = parseConfigList(opt.configs);
+    const std::vector<Workload> suite = allWorkloads(sizes);
+    const unsigned jobs =
+        opt.jobs == 0 ? ThreadPool::defaultConcurrency() : opt.jobs;
+
+    const CycleMatrix matrix = runCycleMatrix(suite, configs, {}, jobs);
+
+    bool all_ok = true;
+    std::string json;
+    json += "{\n";
+    json += "  \"schema\": \"tia-sweep/v1\",\n";
+    json += "  \"jobs\": " + std::to_string(matrix.jobs) + ",\n";
+    json += std::string("  \"sizes\": ") +
+            (opt.small ? "\"small\"" : "\"full\"") + ",\n";
+
+    json += "  \"cpi_matrix\": {\n";
+    json += "    \"wall_ms\": ";
+    jsonNumber(json, matrix.wallMs);
+    json += ",\n    \"workloads\": [";
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        if (w)
+            json += ", ";
+        jsonString(json, suite[w].name);
+    }
+    json += "],\n    \"configs\": [";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (c)
+            json += ", ";
+        jsonString(json, configs[c].name());
+    }
+    // Row-major [config][workload] arrays, rows parallel to "configs".
+    json += "],\n    \"cpi\": [\n";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        json += "      [";
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            if (w)
+                json += ", ";
+            jsonNumber(json, matrix.run(c, w).worker.cpi());
+        }
+        json += c + 1 < configs.size() ? "],\n" : "]\n";
+    }
+    json += "    ],\n    \"cycles\": [\n";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        json += "      [";
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            if (w)
+                json += ", ";
+            json += std::to_string(matrix.run(c, w).totalCycles);
+        }
+        json += c + 1 < configs.size() ? "],\n" : "]\n";
+    }
+    json += "    ],\n    \"status\": [\n";
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        json += "      [";
+        for (std::size_t w = 0; w < suite.size(); ++w) {
+            if (w)
+                json += ", ";
+            const WorkloadRun &cell = matrix.run(c, w);
+            jsonString(json, cell.ok() ? "ok"
+                                       : runStatusName(cell.status));
+            all_ok = all_ok && cell.ok();
+        }
+        json += c + 1 < configs.size() ? "],\n" : "]\n";
+    }
+    json += "    ]\n  }";
+
+    if (opt.dse && all_ok) {
+        CpiTable table;
+        if (opt.suiteCpi) {
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                double sum = 0.0;
+                for (std::size_t w = 0; w < suite.size(); ++w)
+                    sum += matrix.run(c, w).worker.cpi();
+                table[configs[c].name()] =
+                    sum / static_cast<double>(suite.size());
+            }
+        } else {
+            // The paper's methodology: bst alone drives the DSE.
+            std::size_t bst = suite.size();
+            for (std::size_t w = 0; w < suite.size(); ++w) {
+                if (suite[w].name == "bst")
+                    bst = w;
+            }
+            fatalIf(bst == suite.size(), "suite has no bst workload");
+            for (std::size_t c = 0; c < configs.size(); ++c)
+                table[configs[c].name()] = matrix.run(c, bst).worker.cpi();
+        }
+
+        const DesignSpace dse(std::move(table));
+        const auto dse_start = std::chrono::steady_clock::now();
+        const auto points = dse.enumerateParallel(jobs, configs);
+        const double dse_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - dse_start)
+                .count();
+        const auto frontier = DesignSpace::paretoFrontier(points);
+
+        json += ",\n  \"dse\": {\n";
+        json += std::string("    \"cpi_source\": ") +
+                (opt.suiteCpi ? "\"suite-average\"" : "\"bst\"") + ",\n";
+        json += "    \"wall_ms\": ";
+        jsonNumber(json, dse_ms);
+        json += ",\n    \"grid_points\": " +
+                std::to_string(dse.gridSize(configs)) + ",\n";
+        json += "    \"evaluated\": " + std::to_string(points.size()) +
+                ",\n";
+        json += "    \"pareto\": [\n";
+        for (std::size_t i = 0; i < frontier.size(); ++i) {
+            const DesignPoint &p = frontier[i];
+            json += "      {\"config\": ";
+            jsonString(json, p.config.name());
+            json += ", \"vt\": ";
+            jsonString(json, vtName(p.vt));
+            json += ", \"vdd\": ";
+            jsonNumber(json, p.vdd);
+            json += ", \"freq_mhz\": ";
+            jsonNumber(json, p.freqMhz);
+            json += ", \"max_freq_mhz\": ";
+            jsonNumber(json, p.maxFreqMhz);
+            json += ", \"cpi\": ";
+            jsonNumber(json, p.cpi);
+            json += ", \"ns_per_ins\": ";
+            jsonNumber(json, p.nsPerInstruction);
+            json += ", \"pj_per_ins\": ";
+            jsonNumber(json, p.pjPerInstruction);
+            json += ", \"area_um2\": ";
+            jsonNumber(json, p.areaUm2);
+            json += ", \"power_mw\": ";
+            jsonNumber(json, p.powerMw);
+            json += ", \"power_density_mw_mm2\": ";
+            jsonNumber(json, p.powerDensity());
+            json += ", \"edp\": ";
+            jsonNumber(json, p.edp());
+            json += i + 1 < frontier.size() ? "},\n" : "}\n";
+        }
+        json += "    ]\n  }";
+    }
+    json += "\n}\n";
+
+    if (opt.outPath.empty()) {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        std::FILE *out = std::fopen(opt.outPath.c_str(), "w");
+        fatalIf(out == nullptr, "cannot open ", opt.outPath);
+        std::fputs(json.c_str(), out);
+        std::fclose(out);
+    }
+    std::fprintf(stderr,
+                 "tia-sweep: %zu configs x %zu workloads on %u worker "
+                 "thread(s), CPI matrix %.1f ms\n",
+                 configs.size(), suite.size(), matrix.jobs,
+                 matrix.wallMs);
+    return all_ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                fatalIf(i + 1 >= argc, arg, " needs an argument");
+                return argv[++i];
+            };
+            if (arg == "--jobs") {
+                opt.jobs = static_cast<unsigned>(std::stoul(next()));
+            } else if (arg == "--small") {
+                opt.small = true;
+            } else if (arg == "--suite-cpi") {
+                opt.suiteCpi = true;
+            } else if (arg == "--no-dse") {
+                opt.dse = false;
+            } else if (arg == "--configs") {
+                opt.configs = next();
+            } else if (arg == "--out") {
+                opt.outPath = next();
+            } else {
+                std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+                return 2;
+            }
+        }
+        return run(opt);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "tia-sweep: %s\n", error.what());
+        return 1;
+    }
+}
