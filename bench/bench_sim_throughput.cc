@@ -51,6 +51,50 @@ BM_CycleFabricDotProduct(benchmark::State &state)
 }
 BENCHMARK(BM_CycleFabricDotProduct)->Unit(benchmark::kMillisecond);
 
+// A sparse fabric: one busy ALU-loop PE among many programless ones.
+// Exercises the idle-PE sleep list — host throughput should track the
+// number of *busy* PEs, not the fabric size.
+void
+BM_CycleFabricSparse(benchmark::State &state)
+{
+    const Program program = assemble(
+        "when %p == XXXXXXX0: add %r0, %r0, #1; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1: add %r1, %r1, #1; set %p = ZZZZZZZ0;\n");
+    const unsigned pes = static_cast<unsigned>(state.range(0));
+    FabricBuilder builder(program.params, pes);
+    CycleFabric fabric(builder.build(), program,
+                       {PipelineShape{}, true, true});
+    for (auto _ : state)
+        fabric.step();
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(std::to_string(pes) + " PEs, 1 busy");
+}
+BENCHMARK(BM_CycleFabricSparse)->Arg(4)->Arg(32);
+
+// Two PEs trading a token back and forth: the steady state alternates
+// busy and idle cycles on each PE, stressing the park/wake transition
+// rather than either extreme.
+void
+BM_CycleFabricPingPong(benchmark::State &state)
+{
+    const Program program = assemble(
+        ".pe 0\n"
+        "when %p == XXXXXXX0: add %o0.0, %r0, #1; set %p = ZZZZZZZ1;\n"
+        "when %p == XXXXXXX1 with %i0.0: add %r0, %r0, %i0; deq %i0; "
+        "set %p = ZZZZZZZ0;\n"
+        ".pe 1\n"
+        "when %p == XXXXXXX0 with %i0.0: add %o0.0, %i0, #1; deq %i0;\n");
+    FabricBuilder builder(program.params, 2);
+    builder.connect(0, 0, 1, 0);
+    builder.connect(1, 0, 0, 0);
+    CycleFabric fabric(builder.build(), program,
+                       {PipelineShape{}, true, true});
+    for (auto _ : state)
+        fabric.step();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CycleFabricPingPong);
+
 void
 BM_FunctionalBst(benchmark::State &state)
 {

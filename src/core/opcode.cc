@@ -8,72 +8,13 @@
 
 namespace tia {
 
-namespace {
-
-// Indexed by the enumerator value of Op.
-constexpr std::array<OpInfo, kNumOps> kOpTable = {{
-    // mnemonic, srcs, result, cmp, spRead, spWrite, halt
-    {"nop", 0, false, false, false, false, false},
-    {"mov", 1, true, false, false, false, false},
-    {"halt", 0, false, false, false, false, true},
-    {"add", 2, true, false, false, false, false},
-    {"sub", 2, true, false, false, false, false},
-    {"neg", 1, true, false, false, false, false},
-    {"mul", 2, true, false, false, false, false},
-    {"mulhu", 2, true, false, false, false, false},
-    {"mulhs", 2, true, false, false, false, false},
-    {"and", 2, true, false, false, false, false},
-    {"or", 2, true, false, false, false, false},
-    {"xor", 2, true, false, false, false, false},
-    {"not", 1, true, false, false, false, false},
-    {"nand", 2, true, false, false, false, false},
-    {"nor", 2, true, false, false, false, false},
-    {"xnor", 2, true, false, false, false, false},
-    {"sll", 2, true, false, false, false, false},
-    {"srl", 2, true, false, false, false, false},
-    {"sra", 2, true, false, false, false, false},
-    {"rol", 2, true, false, false, false, false},
-    {"ror", 2, true, false, false, false, false},
-    {"eq", 2, true, true, false, false, false},
-    {"ne", 2, true, true, false, false, false},
-    {"slt", 2, true, true, false, false, false},
-    {"sle", 2, true, true, false, false, false},
-    {"sgt", 2, true, true, false, false, false},
-    {"sge", 2, true, true, false, false, false},
-    {"ult", 2, true, true, false, false, false},
-    {"ule", 2, true, true, false, false, false},
-    {"ugt", 2, true, true, false, false, false},
-    {"uge", 2, true, true, false, false, false},
-    {"clz", 1, true, false, false, false, false},
-    {"ctz", 1, true, false, false, false, false},
-    {"popc", 1, true, false, false, false, false},
-    {"brev", 1, true, false, false, false, false},
-    {"bswap", 1, true, false, false, false, false},
-    {"min", 2, true, false, false, false, false},
-    {"max", 2, true, false, false, false, false},
-    {"umin", 2, true, false, false, false, false},
-    {"umax", 2, true, false, false, false, false},
-    {"lsw", 2, true, false, true, false, false},
-    {"ssw", 2, false, false, false, true, false},
-}};
-
-} // namespace
-
-const OpInfo &
-opInfo(Op op)
-{
-    auto index = static_cast<std::size_t>(op);
-    panicIf(index >= kOpTable.size(), "opInfo: bad opcode ", index);
-    return kOpTable[index];
-}
-
 std::optional<Op>
 opFromMnemonic(std::string_view mnemonic)
 {
     static const std::map<std::string_view, Op> table = [] {
         std::map<std::string_view, Op> map;
         for (unsigned i = 0; i < kNumOps; ++i)
-            map.emplace(kOpTable[i].mnemonic, static_cast<Op>(i));
+            map.emplace(detail::kOpTable[i].mnemonic, static_cast<Op>(i));
         return map;
     }();
     auto it = table.find(mnemonic);
@@ -82,102 +23,5 @@ opFromMnemonic(std::string_view mnemonic)
     return it->second;
 }
 
-Word
-evalAlu(Op op, Word a, Word b)
-{
-    const auto sa = static_cast<SWord>(a);
-    const auto sb = static_cast<SWord>(b);
-    const unsigned shift = b & 31u;
-    switch (op) {
-      case Op::Nop:
-        return 0;
-      case Op::Mov:
-        return a;
-      case Op::Add:
-        return a + b;
-      case Op::Sub:
-        return a - b;
-      case Op::Neg:
-        return static_cast<Word>(-sa);
-      case Op::Mul:
-        return static_cast<Word>(static_cast<DWord>(a) * b);
-      case Op::Mulhu:
-        return static_cast<Word>((static_cast<DWord>(a) * b) >> 32);
-      case Op::Mulhs:
-        return static_cast<Word>(
-            static_cast<std::uint64_t>(static_cast<std::int64_t>(sa) * sb) >>
-            32);
-      case Op::And:
-        return a & b;
-      case Op::Or:
-        return a | b;
-      case Op::Xor:
-        return a ^ b;
-      case Op::Not:
-        return ~a;
-      case Op::Nand:
-        return ~(a & b);
-      case Op::Nor:
-        return ~(a | b);
-      case Op::Xnor:
-        return ~(a ^ b);
-      case Op::Sll:
-        return a << shift;
-      case Op::Srl:
-        return a >> shift;
-      case Op::Sra:
-        return static_cast<Word>(sa >> shift);
-      case Op::Rol:
-        return std::rotl(a, static_cast<int>(shift));
-      case Op::Ror:
-        return std::rotr(a, static_cast<int>(shift));
-      case Op::Eq:
-        return a == b;
-      case Op::Ne:
-        return a != b;
-      case Op::Slt:
-        return sa < sb;
-      case Op::Sle:
-        return sa <= sb;
-      case Op::Sgt:
-        return sa > sb;
-      case Op::Sge:
-        return sa >= sb;
-      case Op::Ult:
-        return a < b;
-      case Op::Ule:
-        return a <= b;
-      case Op::Ugt:
-        return a > b;
-      case Op::Uge:
-        return a >= b;
-      case Op::Clz:
-        return static_cast<Word>(std::countl_zero(a));
-      case Op::Ctz:
-        return static_cast<Word>(std::countr_zero(a));
-      case Op::Popc:
-        return static_cast<Word>(std::popcount(a));
-      case Op::Brev: {
-        Word r = 0;
-        for (unsigned i = 0; i < 32; ++i)
-            r |= ((a >> i) & 1u) << (31 - i);
-        return r;
-      }
-      case Op::Bswap:
-        return ((a & 0x000000ffu) << 24) | ((a & 0x0000ff00u) << 8) |
-               ((a & 0x00ff0000u) >> 8) | ((a & 0xff000000u) >> 24);
-      case Op::Min:
-        return static_cast<Word>(sa < sb ? sa : sb);
-      case Op::Max:
-        return static_cast<Word>(sa > sb ? sa : sb);
-      case Op::Umin:
-        return a < b ? a : b;
-      case Op::Umax:
-        return a > b ? a : b;
-      default:
-        panic("evalAlu: operation ", opInfo(op).mnemonic,
-              " is not a pure ALU operation");
-    }
-}
 
 } // namespace tia

@@ -14,8 +14,10 @@
 #ifndef TIA_SIM_MEMORY_HH
 #define TIA_SIM_MEMORY_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/logging.hh"
@@ -25,36 +27,68 @@
 
 namespace tia {
 
-/** Flat word-addressable memory (addresses are word indices). */
+/**
+ * Flat word-addressable memory (addresses are word indices).
+ *
+ * Storage is chunked and allocated on first write: a fresh fabric pays
+ * nothing for the address space it never touches, and reads of
+ * untouched words return the architectural zero without backing store.
+ * Sweeps construct thousands of fabrics whose workloads each use a
+ * small footprint of a large memory; zero-filling it all up front
+ * dominated fabric construction.
+ */
 class Memory
 {
   public:
-    explicit Memory(std::size_t words) : words_(words, 0) {}
+    explicit Memory(std::size_t words)
+        : size_(words), chunks_((words + kChunkWords - 1) / kChunkWords)
+    {
+    }
 
-    std::size_t size() const { return words_.size(); }
+    std::size_t size() const { return size_; }
 
     Word
     read(Word address) const
     {
-        fatalIf(address >= words_.size(), "memory read at ", address,
-                " out of bounds (size ", words_.size(), ")");
-        return words_[address];
+        fatalIf(address >= size_, "memory read at ", address,
+                " out of bounds (size ", size_, ")");
+        const Word *chunk = chunks_[address / kChunkWords].get();
+        return chunk != nullptr ? chunk[address % kChunkWords] : 0;
     }
 
     void
     write(Word address, Word value)
     {
-        fatalIf(address >= words_.size(), "memory write at ", address,
-                " out of bounds (size ", words_.size(), ")");
-        words_[address] = value;
+        fatalIf(address >= size_, "memory write at ", address,
+                " out of bounds (size ", size_, ")");
+        auto &chunk = chunks_[address / kChunkWords];
+        if (chunk == nullptr)
+            chunk = std::make_unique<Word[]>(kChunkWords); // zero-filled
+        chunk[address % kChunkWords] = value;
     }
 
-    /** Direct access for preloading / validation. */
-    std::vector<Word> &data() { return words_; }
-    const std::vector<Word> &data() const { return words_; }
+    /** Full contents as a flat vector (tests / validation). */
+    std::vector<Word>
+    snapshot() const
+    {
+        std::vector<Word> words(size_, 0);
+        for (std::size_t c = 0; c < chunks_.size(); ++c) {
+            if (chunks_[c] == nullptr)
+                continue;
+            const std::size_t base = c * kChunkWords;
+            const std::size_t count =
+                std::min(kChunkWords, size_ - base);
+            std::copy_n(chunks_[c].get(), count, words.begin() + base);
+        }
+        return words;
+    }
 
   private:
-    std::vector<Word> words_;
+    /** One page of words per chunk. */
+    static constexpr std::size_t kChunkWords = 1024;
+
+    std::size_t size_;
+    std::vector<std::unique_ptr<Word[]>> chunks_;
 };
 
 /**

@@ -8,13 +8,22 @@
  * cycle-start snapshot discipline so that all agents in a cycle observe
  * a consistent, RTL-like view of occupancy: pushes performed during a
  * cycle become visible only at the next cycle boundary.
+ *
+ * Storage is a fixed ring buffer sized once at construction — the
+ * committed entries followed by this cycle's deferred pushes occupy one
+ * contiguous (mod capacity) window, so steady-state operation performs
+ * no allocation. An optional QueueEventLog lets the owning fabric
+ * observe pushes and pops for its idle-PE wake list and incremental
+ * progress accounting (see uarch/cycle_fabric.hh); the log is a
+ * concrete inline structure, not a virtual observer — every push and
+ * pop pays for the recording.
  */
 
 #ifndef TIA_SIM_QUEUE_HH
 #define TIA_SIM_QUEUE_HH
 
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "core/logging.hh"
 #include "core/types.hh"
@@ -63,6 +72,87 @@ class ChannelFaultHook
 };
 
 /**
+ * Log of queue activity (see file comment). recordPush fires once per
+ * token accepted into the deferred-push window; recordPop once per
+ * token popped. Dropped (faulted) tokens fire neither.
+ *
+ * The owner drains the dirty and pushed channel lists between cycles
+ * (clearDirty/clearPushed); each channel appears at most once per list
+ * per cycle. progressEvents() accumulates over the whole run.
+ */
+class QueueEventLog
+{
+  public:
+    explicit QueueEventLog(unsigned channels)
+        : dirtyFlag_(channels, 0), pushedFlag_(channels, 0)
+    {
+        dirty_.reserve(channels);
+        pushed_.reserve(channels);
+    }
+
+    /** A token was accepted by channel @p channel this cycle. */
+    void
+    recordPush(unsigned channel)
+    {
+        ++progressEvents_;
+        if (!dirtyFlag_[channel]) {
+            dirtyFlag_[channel] = 1;
+            dirty_.push_back(channel);
+        }
+        if (!pushedFlag_[channel]) {
+            pushedFlag_[channel] = 1;
+            pushed_.push_back(channel);
+        }
+    }
+
+    /** A token was popped from channel @p channel this cycle. */
+    void
+    recordPop(unsigned channel)
+    {
+        ++progressEvents_;
+        if (!dirtyFlag_[channel]) {
+            dirtyFlag_[channel] = 1;
+            dirty_.push_back(channel);
+        }
+    }
+
+    /** Channels with any activity since the last clearDirty(). */
+    const std::vector<unsigned> &dirtyChannels() const { return dirty_; }
+
+    /** Channels with pushes since the last clearPushed(). */
+    const std::vector<unsigned> &pushedChannels() const { return pushed_; }
+
+    /** True if channel @p channel is in the dirty list. */
+    bool dirty(unsigned channel) const { return dirtyFlag_[channel] != 0; }
+
+    /** Pushes + pops ever recorded. */
+    std::uint64_t progressEvents() const { return progressEvents_; }
+
+    void
+    clearDirty()
+    {
+        for (unsigned ch : dirty_)
+            dirtyFlag_[ch] = 0;
+        dirty_.clear();
+    }
+
+    void
+    clearPushed()
+    {
+        for (unsigned ch : pushed_)
+            pushedFlag_[ch] = 0;
+        pushed_.clear();
+    }
+
+  private:
+    std::vector<std::uint8_t> dirtyFlag_;  ///< In dirty_, by channel.
+    std::vector<std::uint8_t> pushedFlag_; ///< In pushed_, by channel.
+    std::vector<unsigned> dirty_;
+    std::vector<unsigned> pushed_;
+    std::uint64_t progressEvents_ = 0;
+};
+
+/**
  * A bounded FIFO of tagged tokens with single producer and single
  * consumer, deferred-push semantics and cycle-start occupancy
  * snapshots.
@@ -70,7 +160,8 @@ class ChannelFaultHook
 class TaggedQueue
 {
   public:
-    explicit TaggedQueue(unsigned capacity) : capacity_(capacity)
+    explicit TaggedQueue(unsigned capacity)
+        : capacity_(capacity), ring_(capacity)
     {
         fatalIf(capacity == 0, "queue capacity must be positive");
     }
@@ -79,13 +170,13 @@ class TaggedQueue
     unsigned capacity() const { return capacity_; }
 
     /** Live occupancy (committed entries only). */
-    unsigned size() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned size() const { return committed_; }
 
     /** Occupancy at the start of the current cycle. */
     unsigned snapshotSize() const { return snapshotSize_; }
 
     /** Live emptiness. */
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return committed_ == 0; }
 
     /**
      * Peek at depth @p depth (0 = head, 1 = neck, ...), using live
@@ -94,20 +185,33 @@ class TaggedQueue
     std::optional<Token>
     peek(unsigned depth = 0) const
     {
-        if (depth >= entries_.size())
+        if (depth >= committed_)
             return std::nullopt;
-        return entries_[depth];
+        return ring_[wrap(head_ + depth)];
+    }
+
+    /**
+     * Pointer form of peek() for the per-cycle scheduler path; the
+     * token stays valid until the next pop or commit.
+     */
+    const Token *
+    peekPtr(unsigned depth = 0) const
+    {
+        return depth < committed_ ? &ring_[wrap(head_ + depth)] : nullptr;
     }
 
     /** Pop the head. Takes effect immediately (within-cycle). */
     Token
     pop()
     {
-        panicIf(entries_.empty(), "pop from empty queue");
-        Token token = entries_.front();
-        entries_.pop_front();
+        panicIf(committed_ == 0, "pop from empty queue");
+        Token token = ring_[head_];
+        head_ = wrap(head_ + 1);
+        --committed_;
         ++totalPops_;
         ++popsThisCycle_;
+        if (log_)
+            log_->recordPop(channelId_);
         return token;
     }
 
@@ -127,16 +231,14 @@ class TaggedQueue
             if (action == ChannelFaultHook::PushAction::Drop)
                 return;
             if (action == ChannelFaultHook::PushAction::Duplicate &&
-                entries_.size() + pending_.size() + 1 < capacity_) {
-                pending_.push_back(delivered);
-                ++totalPushes_;
+                committed_ + pending_ + 1 < capacity_) {
+                append(delivered);
             }
         }
-        panicIf(entries_.size() + pending_.size() >= capacity_,
+        panicIf(committed_ + pending_ >= capacity_,
                 "push to full queue (capacity ", capacity_,
                 ") — a hazard check failed");
-        pending_.push_back(delivered);
-        ++totalPushes_;
+        append(delivered);
     }
 
     /** Begin a cycle: record the occupancy snapshot. */
@@ -151,18 +253,22 @@ class TaggedQueue
     void
     commit()
     {
-        for (const auto &token : pending_)
-            entries_.push_back(token);
-        pending_.clear();
+        committed_ += pending_;
+        pending_ = 0;
     }
 
     /** Immediate push for the functional simulator (no deferral). */
     void
     pushImmediate(const Token &token)
     {
-        panicIf(entries_.size() >= capacity_, "push to full queue");
-        entries_.push_back(token);
+        panicIf(committed_ >= capacity_, "push to full queue");
+        panicIf(pending_ != 0,
+                "pushImmediate with deferred pushes pending");
+        ring_[wrap(head_ + committed_)] = token;
+        ++committed_;
         ++totalPushes_;
+        if (log_)
+            log_->recordPush(channelId_);
     }
 
     /** Total tokens ever pushed (pending included). */
@@ -171,20 +277,24 @@ class TaggedQueue
     std::uint64_t totalPops() const { return totalPops_; }
 
     /** True if a push from this cycle is awaiting commit(). */
-    bool hasPendingPush() const { return !pending_.empty(); }
+    bool hasPendingPush() const { return pending_ != 0; }
 
     /** Number of pushes from this cycle awaiting commit(). */
-    unsigned
-    pendingPushes() const
-    {
-        return static_cast<unsigned>(pending_.size());
-    }
+    unsigned pendingPushes() const { return pending_; }
 
     /** Install (or clear) a fault hook; @p id names this channel. */
     void
     setFaultHook(ChannelFaultHook *hook, unsigned id)
     {
         faultHook_ = hook;
+        channelId_ = id;
+    }
+
+    /** Install (or clear) an event log; @p id names this channel. */
+    void
+    setEventLog(QueueEventLog *log, unsigned id)
+    {
+        log_ = log;
         channelId_ = id;
     }
 
@@ -203,14 +313,35 @@ class TaggedQueue
     }
 
   private:
+    /** Reduce an offset below 2*capacity into [0, capacity). */
+    unsigned
+    wrap(unsigned offset) const
+    {
+        return offset >= capacity_ ? offset - capacity_ : offset;
+    }
+
+    /** Place a token in the deferred-push window and count it. */
+    void
+    append(const Token &token)
+    {
+        ring_[wrap(head_ + committed_ + pending_)] = token;
+        ++pending_;
+        ++totalPushes_;
+        if (log_)
+            log_->recordPush(channelId_);
+    }
+
     unsigned capacity_;
-    std::deque<Token> entries_;
-    std::deque<Token> pending_;
+    std::vector<Token> ring_;
+    unsigned head_ = 0;      ///< Ring index of the committed head.
+    unsigned committed_ = 0; ///< Committed (visible) occupancy.
+    unsigned pending_ = 0;   ///< Deferred pushes awaiting commit().
     unsigned snapshotSize_ = 0;
     unsigned popsThisCycle_ = 0;
     std::uint64_t totalPushes_ = 0;
     std::uint64_t totalPops_ = 0;
     ChannelFaultHook *faultHook_ = nullptr;
+    QueueEventLog *log_ = nullptr;
     unsigned channelId_ = 0;
 };
 

@@ -19,6 +19,7 @@
 #ifndef TIA_SIM_SCHEDULER_HH
 #define TIA_SIM_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -78,6 +79,90 @@ ScheduleResult schedule(const std::vector<Instruction> &instructions,
  */
 bool queueConditionsHold(const Instruction &inst,
                          const QueueStatusView &view);
+
+/**
+ * Per-cycle queue status packed into words for the mask-based fast
+ * path. A PE computes this once per cycle (each bound queue inspected
+ * once) instead of re-deriving queue status per instruction condition
+ * through virtual QueueStatusView calls.
+ *
+ * headTag[q] is meaningful only where bit q of inputReady is set (an
+ * effectively non-empty queue always has a peekable head); consumers
+ * must test inputReady first, which the requirement-mask compare does
+ * implicitly. For that reason headTag is deliberately left without an
+ * initializer: a default-initialized QueueStatusWords (built fresh
+ * every cycle) skips zero-filling tags no consumer may read — every
+ * compiled tag check adds its queue to the descriptor's inputNeed
+ * mask, so an unready queue's tag slot is never inspected.
+ */
+struct QueueStatusWords
+{
+    std::uint32_t inputReady = 0;  ///< Bit q: input q effectively non-empty.
+    std::uint32_t outputSpace = 0; ///< Bit q: output q has space.
+    std::array<Tag, 32> headTag;   ///< Effective head tags (see above).
+};
+
+/**
+ * Mask-based equivalent of queueConditionsHold for a compiled trigger:
+ * two AND/compare operations plus at most MaxCheck tag compares.
+ * Exactly equivalent to the reference given consistent status
+ * (asserted by tests/test_hot_path.cc). Defined inline — this runs
+ * once per instruction per cycle in the issue stage.
+ */
+inline bool
+queueConditionsHold(const TriggerDesc &desc, const QueueStatusWords &status)
+{
+    // Occupancy, source availability, dequeue availability and
+    // destination space collapse to two requirement-mask compares.
+    if ((desc.inputNeed & ~status.inputReady) != 0)
+        return false;
+    if ((desc.outputNeed & ~status.outputSpace) != 0)
+        return false;
+    // Tag conditions: the queues involved passed the inputReady test
+    // above, so their effective head tags are meaningful.
+    for (unsigned c = 0; c < desc.numChecks; ++c) {
+        const QueueCheck &check = desc.checks[c];
+        const bool match = status.headTag[check.queue] == check.tag;
+        if (match == check.negate)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Mask-based trigger resolution over compiled descriptors: the fast
+ * path used by the cycle-accurate PE's issue stage. Bit-identical to
+ * schedule() on the corresponding instructions and a consistent view.
+ */
+inline ScheduleResult
+schedule(const std::vector<TriggerDesc> &descs, std::uint64_t preds,
+         std::uint64_t pendingPreds, const QueueStatusWords &status)
+{
+    // Same resolution order and outcomes as the reference loop, over
+    // compiled descriptors.
+    for (unsigned i = 0; i < descs.size(); ++i) {
+        const TriggerDesc &desc = descs[i];
+        if (!desc.valid)
+            continue;
+
+        if (!queueConditionsHold(desc, status))
+            continue;
+
+        const std::uint64_t cares = desc.predOn | desc.predOff;
+        const std::uint64_t resolved = ~pendingPreds;
+
+        const std::uint64_t on_fail = desc.predOn & ~preds;
+        const std::uint64_t off_fail = desc.predOff & preds;
+        if (((on_fail | off_fail) & resolved) != 0)
+            continue;
+
+        if ((cares & pendingPreds) != 0)
+            return {ScheduleOutcome::BlockedOnPredicate, i};
+
+        return {ScheduleOutcome::Fire, i};
+    }
+    return {ScheduleOutcome::None, 0};
+}
 
 } // namespace tia
 

@@ -70,6 +70,9 @@ struct PerfCounters
                                static_cast<double>(predictions);
     }
 
+    /** Field-wise equality (the optimization-equivalence tests). */
+    bool operator==(const PerfCounters &) const = default;
+
     /** Accumulate (for averaging across workloads). */
     PerfCounters &
     operator+=(const PerfCounters &other)

@@ -9,7 +9,8 @@ namespace tia {
 
 CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
                          const PeConfig &uarch, FaultInjector *injector)
-    : config_(config), memory_(config.memoryWords), injector_(injector)
+    : config_(config), memory_(config.memoryWords), injector_(injector),
+      events_(config.numChannels)
 {
     config_.validate();
     fatalIf(program.numPes() > config_.numPes,
@@ -21,7 +22,15 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
             std::make_unique<TaggedQueue>(config_.params.queueCapacity));
         if (injector_)
             channels_.back()->setFaultHook(injector_, ch);
+        channels_.back()->setEventLog(&events_, ch);
     }
+    channelPes_.resize(config_.numChannels);
+    peChannels_.resize(config_.numPes);
+    parkCandidates_.reserve(config_.numPes);
+
+    // Fault stuck-status windows open and close without queue events,
+    // so parked PEs could miss a wake; keep everyone stepping.
+    sleepEnabled_ = injector_ == nullptr;
 
     for (unsigned pe = 0; pe < config_.numPes; ++pe) {
         std::vector<Instruction> insts;
@@ -47,8 +56,37 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
             pipelined->setPreds(config_.initialPreds[pe]);
         if (injector_)
             pipelined->setFaultInjector(injector_, pe);
+
+        // Wake subscriptions: the channels whose status can turn one of
+        // this PE's triggers eligible. A channel no trigger references
+        // never changes the scheduler's verdict.
+        const std::uint32_t in_mask = pipelined->watchedInputs();
+        for (unsigned port = 0; port < config_.params.numInputQueues;
+             ++port) {
+            const int ch = config_.inputChannel[pe][port];
+            if (ch != kUnbound && (in_mask & (std::uint32_t{1} << port))) {
+                channelPes_[ch].push_back(pe);
+                peChannels_[pe].push_back(ch);
+            }
+        }
+        const std::uint32_t out_mask = pipelined->watchedOutputs();
+        for (unsigned port = 0; port < config_.params.numOutputQueues;
+             ++port) {
+            const int ch = config_.outputChannel[pe][port];
+            if (ch != kUnbound && (out_mask & (std::uint32_t{1} << port))) {
+                channelPes_[ch].push_back(pe);
+                peChannels_[pe].push_back(ch);
+            }
+        }
+
         pes_.push_back(std::move(pipelined));
     }
+
+    activePes_.reserve(config_.numPes);
+    for (unsigned pe = 0; pe < config_.numPes; ++pe)
+        activePes_.push_back(pe);
+    asleep_.assign(config_.numPes, false);
+    sleepSince_.assign(config_.numPes, 0);
 
     for (const auto &spec : config_.readPorts) {
         readPorts_.push_back(std::make_unique<MemoryReadPort>(
@@ -68,30 +106,137 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
 }
 
 void
+CycleFabric::syncSleepCounters(unsigned index) const
+{
+    // The PE last stepped (or was last accounted) at sleepSince_; every
+    // cycle since, up to and including the last executed fabric cycle
+    // (now_ - 1), would have been exactly one no-trigger cycle.
+    const Cycle skipped = now_ - sleepSince_[index] - 1;
+    if (skipped > 0) {
+        pes_[index]->skipIdleCycles(skipped);
+        stepsSkipped_ += skipped;
+        sleepSince_[index] = now_ - 1;
+    }
+}
+
+void
+CycleFabric::flushSleepDebt() const
+{
+    for (unsigned pe = 0; pe < pes_.size(); ++pe) {
+        if (asleep_[pe])
+            syncSleepCounters(pe);
+    }
+}
+
+void
+CycleFabric::wakeParkedPe(unsigned index)
+{
+    syncSleepCounters(index);
+    asleep_[index] = false;
+    activePes_.push_back(index);
+}
+
+void
+CycleFabric::setIdleSleepEnabled(bool enabled)
+{
+    sleepEnabled_ = enabled && injector_ == nullptr;
+    if (!sleepEnabled_) {
+        for (unsigned pe = 0; pe < pes_.size(); ++pe)
+            wakePe(pe);
+    }
+}
+
+void
 CycleFabric::step()
 {
     if (injector_)
         injector_->beginCycle(now_);
-    for (auto &channel : channels_)
-        channel->beginCycle();
-    for (auto &pe : pes_)
-        pe->step();
+
+    // Channels touched last cycle take a fresh occupancy snapshot, and
+    // their activity — architecturally visible from this cycle on —
+    // wakes any parked watcher. Untouched channels already satisfy
+    // snapshotSize() == size() and popsThisCycle() == 0.
+    for (unsigned ch : events_.dirtyChannels()) {
+        channels_[ch]->beginCycle();
+        for (unsigned pe : channelPes_[ch])
+            wakePe(pe);
+    }
+    events_.clearDirty();
+
+    // Step the active PEs; retire halted ones and park provably idle
+    // ones (swap-remove — order within a cycle is unobservable because
+    // every channel has exactly one producer and one consumer).
+    activeBusyPes_ = 0;
+    for (std::size_t i = 0; i < activePes_.size();) {
+        const unsigned index = activePes_[i];
+        PipelinedPe &pe = *pes_[index];
+        const std::uint64_t retired_before = pe.counters().retired;
+        pe.step();
+        totalRetired_ += pe.counters().retired - retired_before;
+        ++stepsExecuted_;
+        sleepSince_[index] = now_;
+        if (pe.halted()) {
+            ++haltedPes_;
+            activePes_[i] = activePes_.back();
+            activePes_.pop_back();
+            continue;
+        }
+        if (sleepEnabled_ && pe.canSleep()) {
+            // Park decision deferred to end of step(): if a watched
+            // channel goes dirty this very cycle the PE would be woken
+            // right back at the next cycle's start, so parking it now
+            // is pure list churn.
+            parkCandidates_.push_back(index);
+            activePes_[i] = activePes_.back();
+            activePes_.pop_back();
+            continue;
+        }
+        if (pe.busy())
+            ++activeBusyPes_;
+        ++i;
+    }
+
     for (auto &port : readPorts_)
         port->step(now_);
     for (auto &port : writePorts_)
         port->step(now_);
-    for (auto &channel : channels_)
-        channel->commit();
+
+    // Only channels that actually received pushes have anything to
+    // commit.
+    for (unsigned ch : events_.pushedChannels())
+        channels_[ch]->commit();
+    events_.clearPushed();
+
+    // Resolve the deferred parks now that every agent has run: a
+    // candidate with a dirty watched channel stays active (it would be
+    // woken next cycle anyway), the rest go to sleep. Equivalent to
+    // parking eagerly — the kept-active PE executes the same no-trigger
+    // step next cycle that wakeParkedPe() would have accounted.
+    for (unsigned index : parkCandidates_) {
+        bool pending = false;
+        for (unsigned ch : peChannels_[index]) {
+            if (events_.dirty(ch)) {
+                pending = true;
+                break;
+            }
+        }
+        if (pending)
+            activePes_.push_back(index);
+        else
+            asleep_[index] = true;
+    }
+    parkCandidates_.clear();
+
     ++now_;
 }
 
 bool
 CycleFabric::anyActivity() const
 {
-    for (const auto &pe : pes_) {
-        if (!pe->halted() && pe->busy())
-            return true;
-    }
+    // Parked PEs are by construction not busy; halted ones are off the
+    // active list.
+    if (activeBusyPes_ > 0)
+        return true;
     for (const auto &port : readPorts_) {
         if (port->busy())
             return true;
@@ -103,61 +248,39 @@ CycleFabric::anyActivity() const
     return false;
 }
 
-std::uint64_t
-CycleFabric::totalRetired() const
-{
-    std::uint64_t retired = 0;
-    for (const auto &pe : pes_)
-        retired += pe->counters().retired;
-    return retired;
-}
-
-std::uint64_t
-CycleFabric::tokensMoved() const
-{
-    std::uint64_t moved = 0;
-    for (const auto &channel : channels_)
-        moved += channel->totalPushes() + channel->totalPops();
-    for (const auto &port : writePorts_)
-        moved += port->writesPerformed();
-    return moved;
-}
-
 RunStatus
 CycleFabric::run(const FabricRunOptions &options)
 {
-    std::uint64_t last_retired = totalRetired();
-    std::uint64_t last_tokens = tokensMoved();
+    std::uint64_t last_retired = totalRetired_;
+    std::uint64_t last_events = events_.progressEvents();
     Cycle last_activity = now_;
     Cycle last_progress = now_;
 
     while (now_ < options.maxCycles) {
-        bool all_halted = true;
-        for (const auto &pe : pes_)
-            all_halted &= pe->halted();
-        if (all_halted) {
+        if (haltedPes_ == pes_.size()) {
             report_ = HangReport{};
             report_.classification = RunStatus::Halted;
             report_.summary = "halted: every PE retired a halt";
+            flushSleepDebt();
             return RunStatus::Halted;
         }
 
         step();
 
-        const std::uint64_t tokens = tokensMoved();
-        if (tokens != last_tokens) {
-            last_tokens = tokens;
+        if (events_.progressEvents() != last_events) {
+            last_events = events_.progressEvents();
             last_progress = now_;
         }
-        const std::uint64_t retired = totalRetired();
-        if (retired != last_retired || anyActivity()) {
-            last_retired = retired;
+        if (totalRetired_ != last_retired || anyActivity()) {
+            last_retired = totalRetired_;
             last_activity = now_;
         } else if (now_ - last_activity >= options.quiescenceWindow) {
+            flushSleepDebt();
             report_ = diagnoseQuiescence();
             return report_.classification;
         }
     }
+    flushSleepDebt();
     report_ = classifyStepLimit(now_ - last_progress,
                                 options.quiescenceWindow);
     return report_.classification;

@@ -10,6 +10,28 @@
  * channel, PE and memory port, and run() ends every execution with a
  * HangReport that distinguishes a finished fabric from a deadlocked
  * (wait-for cycle) or livelocked (spinning without progress) one.
+ *
+ * Idle-PE sleep/wake: a PE that reports canSleep() — nothing in
+ * flight and a provably repeating no-trigger cycle — is parked off
+ * the active list and re-stepped only once a channel its triggers
+ * watch reports a push or pop (QueueEventLog). Because
+ * FabricConfig::validate guarantees exactly one producer and one
+ * consumer per channel, a parked PE's scheduler inputs cannot change
+ * without such an event, and PE evaluation order within a cycle is
+ * unobservable, so parking is invisible to the architecture: cycle
+ * counts, per-PE counters and hang reports are bit-identical to
+ * stepping every PE every cycle (asserted by tests/test_hot_path.cc).
+ * Skipped steps are re-accounted lazily (each is exactly one
+ * no-trigger cycle) before any counter observation. A PE whose park
+ * decision coincides with activity on a watched channel is kept
+ * active instead of parked — it would be woken at the next cycle's
+ * start anyway, so parking it is pure churn. Sleep is disabled
+ * under fault injection, whose stuck-status windows open and close
+ * without queue events.
+ *
+ * The same event lists make channel upkeep proportional to activity:
+ * only channels touched last cycle need a new snapshot (beginCycle)
+ * and only channels pushed this cycle need a commit.
  */
 
 #ifndef TIA_UARCH_CYCLE_FABRIC_HH
@@ -40,6 +62,15 @@ struct FabricRunOptions
      * observable progress before a run is classified as livelock.
      */
     Cycle quiescenceWindow = kDefaultQuiescenceWindow;
+};
+
+/** Host-side execution statistics (see tools/tia_sim --stats). */
+struct FabricStepStats
+{
+    /** PE steps actually executed. */
+    std::uint64_t peStepsExecuted = 0;
+    /** PE steps skipped by the idle sleep list (accounted lazily). */
+    std::uint64_t peStepsSkipped = 0;
 };
 
 /** A full cycle-accurate fabric running one microarchitecture. */
@@ -94,18 +125,71 @@ class CycleFabric
     Memory &memory() { return memory_; }
     const Memory &memory() const { return memory_; }
 
-    PipelinedPe &pe(unsigned index) { return *pes_.at(index); }
-    const PipelinedPe &pe(unsigned index) const { return *pes_.at(index); }
+    /**
+     * PE access. The non-const overload wakes a sleeping PE first:
+     * callers may mutate state (predicates, registers) the sleep
+     * criterion depended on. Both overloads settle the PE's lazily
+     * accounted sleep cycles so counters read exact.
+     */
+    PipelinedPe &
+    pe(unsigned index)
+    {
+        wakePe(index);
+        return *pes_.at(index);
+    }
+
+    const PipelinedPe &
+    pe(unsigned index) const
+    {
+        if (asleep_[index])
+            syncSleepCounters(index);
+        return *pes_.at(index);
+    }
+
     unsigned numPes() const { return static_cast<unsigned>(pes_.size()); }
+
+    /**
+     * Enable/disable idle-PE sleep (enabled by default without a fault
+     * injector; always off with one). Disabling wakes every parked PE;
+     * results are identical either way — the knob exists for the
+     * equivalence tests and for profiling.
+     */
+    void setIdleSleepEnabled(bool enabled);
+
+    /** Host-side step accounting (settles lazy sleep debt). */
+    FabricStepStats
+    stepStats() const
+    {
+        flushSleepDebt();
+        return {stepsExecuted_, stepsSkipped_};
+    }
 
   private:
     bool anyActivity() const;
 
-    /** Total retired instructions across all PEs. */
-    std::uint64_t totalRetired() const;
+    /**
+     * Re-activate PE @p index if parked, settling its sleep debt.
+     * Inline no-op for awake PEs — wake subscriptions fire on every
+     * watched-channel event, parked or not.
+     */
+    void
+    wakePe(unsigned index)
+    {
+        if (asleep_[index])
+            wakeParkedPe(index);
+    }
 
-    /** Monotone count of observable progress events (token movement). */
-    std::uint64_t tokensMoved() const;
+    /** Out-of-line slow half of wakePe(). */
+    void wakeParkedPe(unsigned index);
+
+    /**
+     * Account the cycles PE @p index slept through since its last
+     * executed step: each is exactly one no-trigger cycle.
+     */
+    void syncSleepCounters(unsigned index) const;
+
+    /** Settle the sleep debt of every parked PE (before observation). */
+    void flushSleepDebt() const;
 
     FabricConfig config_;
     Memory memory_;
@@ -116,6 +200,35 @@ class CycleFabric
     FaultInjector *injector_ = nullptr;
     HangReport report_;
     Cycle now_ = 0;
+
+    // Sleep/wake machinery.
+    bool sleepEnabled_ = true;
+    std::vector<unsigned> activePes_;     ///< Awake, unhalted PEs.
+    std::vector<std::uint8_t> asleep_;    ///< Parked flag, per PE.
+    /** Cycle of each PE's last executed (or accounted) step. */
+    mutable std::vector<Cycle> sleepSince_;
+    /** Channel -> PEs whose triggers watch it (wake subscriptions). */
+    std::vector<std::vector<unsigned>> channelPes_;
+    /** PE -> channels its triggers watch (inverse subscriptions). */
+    std::vector<std::vector<unsigned>> peChannels_;
+    /** PEs whose park decision is pending until the cycle ends. */
+    std::vector<unsigned> parkCandidates_;
+
+    /**
+     * Channel activity, recorded inline by the queues (see queue.hh).
+     * Dirty channels need beginCycle + wake at the next cycle's start;
+     * pushed channels need a commit at this cycle's end.
+     */
+    QueueEventLog events_;
+
+    // Incremental run() accounting.
+    std::uint64_t totalRetired_ = 0; ///< Sum of per-PE retired.
+    unsigned haltedPes_ = 0;
+    unsigned activeBusyPes_ = 0;       ///< Busy PEs after the last step.
+
+    // Host-side statistics.
+    std::uint64_t stepsExecuted_ = 0;
+    mutable std::uint64_t stepsSkipped_ = 0;
 };
 
 } // namespace tia

@@ -1,6 +1,6 @@
 #include "uarch/pipelined_pe.hh"
 
-#include <algorithm>
+#include <bit>
 
 #include "core/logging.hh"
 #include "core/opcode.hh"
@@ -8,11 +8,34 @@
 
 namespace tia {
 
+QueueStatusWords
+PipelinedPe::computeStatusWords() const
+{
+    // Each queue any trigger cares about is inspected exactly once per
+    // cycle; schedule() then needs only mask compares per instruction.
+    QueueStatusWords status;
+    for (std::uint32_t rest = usedInputs_; rest != 0; rest &= rest - 1) {
+        const unsigned q = static_cast<unsigned>(std::countr_zero(rest));
+        if (schedInputOccupancy(q) == 0)
+            continue;
+        const auto tag = schedInputHeadTag(q);
+        panicIf(!tag.has_value(),
+                "effectively non-empty queue without a peekable head");
+        status.inputReady |= std::uint32_t{1} << q;
+        status.headTag[q] = *tag;
+    }
+    for (std::uint32_t rest = usedOutputs_; rest != 0; rest &= rest - 1) {
+        const unsigned q = static_cast<unsigned>(std::countr_zero(rest));
+        if (schedOutputHasSpace(q))
+            status.outputSpace |= std::uint32_t{1} << q;
+    }
+    return status;
+}
+
 /**
- * Queue status as the pipelined scheduler sees it: live input
- * occupancy net of in-flight dequeues, cycle-start output occupancy
- * gross of in-flight and just-performed enqueues. Without +Q the view
- * degrades to the conservative full/empty discipline of Section 5.3.
+ * Diagnostic adapter exposing the PE's scheduler queue status through
+ * the abstract QueueStatusView interface (used by queueWaits and the
+ * scheduler-equivalence tests; the issue path uses computeStatusWords).
  */
 class CycleQueueView : public QueueStatusView
 {
@@ -22,65 +45,19 @@ class CycleQueueView : public QueueStatusView
     unsigned
     inputOccupancy(unsigned q) const override
     {
-        const TaggedQueue *queue = pe_.inputs_.at(q);
-        if (!queue)
-            return 0;
-        if (queue->faultStuckEmpty())
-            return 0;
-        const unsigned pending = pe_.pendingDeq_.at(q);
-        if (!pe_.config_.effectiveQueueStatus) {
-            // Conservative (RAW-style): a dequeue that was in flight at
-            // the start of this cycle — including one that landed in
-            // decode this very cycle — makes the queue look empty.
-            const unsigned pending_at_start =
-                pending + queue->popsThisCycle();
-            return pending_at_start > 0 ? 0 : queue->size();
-        }
-        // Effective status: live occupancy net of in-flight dequeues
-        // (algebraically identical to cycle-start occupancy minus
-        // cycle-start in-flight dequeues).
-        const unsigned live = queue->size();
-        return live > pending ? live - pending : 0;
+        return pe_.schedInputOccupancy(q);
     }
 
     std::optional<Tag>
     inputHeadTag(unsigned q) const override
     {
-        const TaggedQueue *queue = pe_.inputs_.at(q);
-        if (!queue)
-            return std::nullopt;
-        if (queue->faultStuckEmpty())
-            return std::nullopt;
-        const unsigned depth = pe_.config_.effectiveQueueStatus
-                                   ? pe_.pendingDeq_.at(q)
-                                   : 0;
-        const auto token = queue->peek(depth);
-        if (!token)
-            return std::nullopt;
-        return token->tag;
+        return pe_.schedInputHeadTag(q);
     }
 
     bool
     outputHasSpace(unsigned q) const override
     {
-        const TaggedQueue *queue = pe_.outputs_.at(q);
-        if (!queue)
-            return false;
-        if (queue->faultStuckFull())
-            return false;
-        const unsigned pending = pe_.pendingEnq_.at(q);
-        // Occupancy the consumer cannot have drained yet this cycle:
-        // cycle-start contents plus pushes performed this cycle.
-        const unsigned used = queue->snapshotSize() + queue->pendingPushes();
-        if (!pe_.config_.effectiveQueueStatus) {
-            // Conservative: any enqueue in flight at cycle start —
-            // including one that landed this cycle — makes the queue
-            // look full.
-            const unsigned pending_at_start =
-                pending + queue->pendingPushes();
-            return pending_at_start == 0 && used < queue->capacity();
-        }
-        return used + pending < queue->capacity();
+        return pe_.schedOutputHasSpace(q);
     }
 
   private:
@@ -101,8 +78,16 @@ PipelinedPe::PipelinedPe(const ArchParams &params, const PeConfig &config,
             "program exceeds the PE instruction store");
     fatalIf(config_.nestedSpeculation && !config_.predictPredicates,
             "nested speculation (+N) requires predicate prediction (+P)");
+    // validate() bounds every register, queue and predicate index an
+    // instruction can name, so the per-cycle paths below index the
+    // per-PE arrays without range checks.
     for (const auto &inst : program_)
         inst.validate(params_);
+    triggerDescs_ = compileTriggerDescs(program_);
+    for (const auto &desc : triggerDescs_) {
+        usedInputs_ |= desc.inputNeed;
+        usedOutputs_ |= desc.outputNeed;
+    }
 }
 
 void
@@ -126,12 +111,6 @@ PipelinedPe::setRegs(const std::vector<Word> &values)
         regs_[i] = values[i];
 }
 
-bool
-PipelinedPe::busy() const
-{
-    return inFlight() > 0;
-}
-
 unsigned
 PipelinedPe::inFlight() const
 {
@@ -150,9 +129,15 @@ PipelinedPe::queueWaits() const
         return info;
 
     CycleQueueView view(*this);
+    // Dedup with seen-bitmasks (queue indices are below 32 by
+    // construction) but append in first-encounter order so the report
+    // — and the wait-for graph built from it — is stable.
+    std::uint32_t seen_inputs = 0;
+    std::uint32_t seen_outputs = 0;
     auto note_input = [&](unsigned q) {
-        if (std::find(info.waitInputs.begin(), info.waitInputs.end(), q) ==
-            info.waitInputs.end()) {
+        const std::uint32_t bit = std::uint32_t{1} << q;
+        if ((seen_inputs & bit) == 0) {
+            seen_inputs |= bit;
             info.waitInputs.push_back(q);
         }
     };
@@ -191,10 +176,12 @@ PipelinedPe::queueWaits() const
                 note_input(q);
         }
         if (inst.dst.type == DstType::OutputQueue &&
-            !view.outputHasSpace(inst.dst.index) &&
-            std::find(info.waitOutputs.begin(), info.waitOutputs.end(),
-                      inst.dst.index) == info.waitOutputs.end()) {
-            info.waitOutputs.push_back(inst.dst.index);
+            !view.outputHasSpace(inst.dst.index)) {
+            const std::uint32_t bit = std::uint32_t{1} << inst.dst.index;
+            if ((seen_outputs & bit) == 0) {
+                seen_outputs |= bit;
+                info.waitOutputs.push_back(inst.dst.index);
+            }
         }
     }
     return info;
@@ -237,12 +224,12 @@ PipelinedPe::readSource(const Source &src, Word imm) const
       case SrcType::None:
         return 0;
       case SrcType::Reg:
-        return regs_.at(src.index);
+        return regs_[src.index];
       case SrcType::InputQueue: {
-        const TaggedQueue *queue = inputs_.at(src.index);
+        const TaggedQueue *queue = inputs_[src.index];
         panicIf(queue == nullptr, "read of unbound input queue");
-        const auto token = queue->peek(0);
-        panicIf(!token.has_value(),
+        const Token *token = queue->peekPtr(0);
+        panicIf(token == nullptr,
                 "read of empty input queue — a hazard check failed");
         return token->data;
       }
@@ -259,11 +246,11 @@ PipelinedPe::doDecode(InFlight &entry)
     entry.operands[0] = readSource(inst.srcs[0], inst.imm);
     entry.operands[1] = readSource(inst.srcs[1], inst.imm);
     for (auto q : inst.dequeues) {
-        TaggedQueue *queue = inputs_.at(q);
+        TaggedQueue *queue = inputs_[q];
         panicIf(queue == nullptr, "dequeue of unbound input queue");
         queue->pop();
-        panicIf(pendingDeq_.at(q) == 0, "dequeue accounting underflow");
-        --pendingDeq_.at(q);
+        panicIf(pendingDeq_[q] == 0, "dequeue accounting underflow");
+        --pendingDeq_[q];
         ++counters_.dequeues;
     }
     entry.didD = true;
@@ -279,9 +266,9 @@ PipelinedPe::flushSpeculative()
         panicIf(inst.hasPreRetirementSideEffect(),
                 "a side-effecting instruction was issued speculatively");
         if (inst.enqueues()) {
-            panicIf(pendingEnq_.at(inst.dst.index) == 0,
+            panicIf(pendingEnq_[inst.dst.index] == 0,
                     "enqueue accounting underflow on flush");
-            --pendingEnq_.at(inst.dst.index);
+            --pendingEnq_[inst.dst.index];
         }
         ++counters_.quashed;
         slot.reset();
@@ -320,15 +307,15 @@ PipelinedPe::doWriteback(InFlight &entry)
       case DstType::None:
         break;
       case DstType::Reg:
-        regs_.at(inst.dst.index) = result;
+        regs_[inst.dst.index] = result;
         break;
       case DstType::OutputQueue: {
-        TaggedQueue *queue = outputs_.at(inst.dst.index);
+        TaggedQueue *queue = outputs_[inst.dst.index];
         panicIf(queue == nullptr, "enqueue to unbound output queue");
         queue->push({result, inst.outTag});
-        panicIf(pendingEnq_.at(inst.dst.index) == 0,
+        panicIf(pendingEnq_[inst.dst.index] == 0,
                 "enqueue accounting underflow");
-        --pendingEnq_.at(inst.dst.index);
+        --pendingEnq_[inst.dst.index];
         ++counters_.enqueues;
         break;
       }
@@ -399,21 +386,15 @@ PipelinedPe::issue()
         return;
     }
 
-    std::uint64_t pending_mask = 0;
-    for (unsigned p = 0; p < params_.numPreds; ++p) {
-        if (pendingPredWrites_[p] > 0)
-            pending_mask |= std::uint64_t{1} << p;
-    }
-
-    CycleQueueView view(*this);
-    const ScheduleResult result =
-        schedule(program_, preds_, pending_mask, view);
+    const ScheduleResult result = schedule(
+        triggerDescs_, preds_, pendingPredMask_, computeStatusWords());
     if (result.outcome == ScheduleOutcome::BlockedOnPredicate) {
         ++counters_.predicateHazard;
         return;
     }
     if (result.outcome == ScheduleOutcome::None) {
         ++counters_.noTrigger;
+        idleCycle_ = true;
         return;
     }
 
@@ -432,7 +413,8 @@ PipelinedPe::issue()
         }
     }
 
-    InFlight entry;
+    // Construct in place — slot 0 was checked empty above.
+    InFlight &entry = slots_[0].emplace();
     entry.inst = &inst;
     entry.index = result.index;
     entry.id = nextId_++;
@@ -458,18 +440,17 @@ PipelinedPe::issue()
             preds_ = (preds_ & ~bit) | (predicted ? bit : 0);
             ++counters_.predictions;
         } else {
-            ++pendingPredWrites_.at(inst.dst.index);
+            ++pendingPredWrites_[inst.dst.index];
+            pendingPredMask_ |= std::uint64_t{1} << inst.dst.index;
         }
     }
 
     for (auto q : inst.dequeues)
-        ++pendingDeq_.at(q);
+        ++pendingDeq_[q];
     if (inst.enqueues())
-        ++pendingEnq_.at(inst.dst.index);
+        ++pendingEnq_[inst.dst.index];
     if (opInfo(inst.op).isHalt)
         haltIssued_ = true;
-
-    slots_[0] = entry;
 
     // Segment-0 work happens in the issue cycle.
     if (segD() == 0) {
@@ -487,6 +468,7 @@ PipelinedPe::step()
     if (halted_)
         return;
     ++counters_.cycles;
+    idleCycle_ = false;
 
     // (a) Work pass, oldest first so forwarding sees this cycle's
     // writebacks.
@@ -527,9 +509,10 @@ PipelinedPe::step()
         const std::uint64_t bit = std::uint64_t{1}
                                   << pendingPredCommit_->index;
         preds_ = (preds_ & ~bit) | (pendingPredCommit_->value ? bit : 0);
-        panicIf(pendingPredWrites_.at(pendingPredCommit_->index) == 0,
+        panicIf(pendingPredWrites_[pendingPredCommit_->index] == 0,
                 "predicate-write accounting underflow");
-        --pendingPredWrites_.at(pendingPredCommit_->index);
+        if (--pendingPredWrites_[pendingPredCommit_->index] == 0)
+            pendingPredMask_ &= ~bit;
         pendingPredCommit_.reset();
     }
     squashIssueThisCycle_ = false;

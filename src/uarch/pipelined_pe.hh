@@ -99,11 +99,52 @@ class PipelinedPe
     /** Advance one clock cycle. No-op once halted. */
     void step();
 
+    /**
+     * True when stepping this PE again with unchanged queue status
+     * would provably repeat a do-nothing cycle: nothing in flight, no
+     * unresolved speculation or pending predicate write, and the last
+     * step's trigger resolution came up empty. The owning fabric may
+     * then park the PE and re-step it only after a watched channel
+     * reports activity (see uarch/cycle_fabric.hh).
+     */
+    bool
+    canSleep() const
+    {
+        return !halted_ && idleCycle_ && !busy() && !specActive() &&
+               pendingPredMask_ == 0 && !pendingPredCommit_.has_value();
+    }
+
+    /**
+     * Account @p n skipped cycles at once. Each skipped cycle is
+     * exactly what step() would have done while asleep: one cycle
+     * counted, attributed to "no trigger eligible".
+     */
+    void
+    skipIdleCycles(std::uint64_t n)
+    {
+        counters_.cycles += n;
+        counters_.noTrigger += n;
+    }
+
+    /** Input queues referenced by any trigger (bit per port). */
+    std::uint32_t watchedInputs() const { return usedInputs_; }
+
+    /** Output queues referenced by any trigger (bit per port). */
+    std::uint32_t watchedOutputs() const { return usedOutputs_; }
+
     /** True once a halt instruction has retired. */
     bool halted() const { return halted_; }
 
     /** True if any instruction is in flight (for quiescence checks). */
-    bool busy() const;
+    bool
+    busy() const
+    {
+        for (const auto &slot : slots_) {
+            if (slot.has_value())
+                return true;
+        }
+        return false;
+    }
 
     /** Number of issued-but-unretired instructions in the pipeline. */
     unsigned inFlight() const;
@@ -146,6 +187,23 @@ class PipelinedPe
     /** Register-dependence stall check for an instruction entering D. */
     bool dataHazardFor(const Instruction &inst, std::uint64_t id) const;
 
+    /**
+     * Queue status as the scheduler sees it (Section 5.3): live input
+     * occupancy net of in-flight dequeues, cycle-start output occupancy
+     * gross of in-flight and just-performed enqueues. Without +Q the
+     * view degrades to the conservative full/empty discipline. These
+     * are the single source of truth for both the per-cycle status
+     * words and the diagnostic QueueStatusView. Defined inline below
+     * the class — computeStatusWords runs them once per watched queue
+     * per cycle.
+     */
+    unsigned schedInputOccupancy(unsigned q) const;
+    std::optional<Tag> schedInputHeadTag(unsigned q) const;
+    bool schedOutputHasSpace(unsigned q) const;
+
+    /** Pack this cycle's queue status for the mask-based scheduler. */
+    QueueStatusWords computeStatusWords() const;
+
     /** Perform operand capture and dequeues (D-phase work). */
     void doDecode(InFlight &entry);
 
@@ -164,6 +222,13 @@ class PipelinedPe
     const PeConfig config_;
     std::vector<Instruction> program_;
 
+    /** Triggers compiled to mask form, one per program slot. */
+    std::vector<TriggerDesc> triggerDescs_;
+    /** Union of all descriptors' input requirements (wake set). */
+    std::uint32_t usedInputs_ = 0;
+    /** Union of all descriptors' output requirements (wake set). */
+    std::uint32_t usedOutputs_ = 0;
+
     // Architectural state.
     std::vector<Word> regs_;
     std::vector<Word> scratchpad_;
@@ -179,6 +244,11 @@ class PipelinedPe
     std::vector<unsigned> pendingDeq_; ///< Per input queue.
     std::vector<unsigned> pendingEnq_; ///< Per output queue.
     std::vector<unsigned> pendingPredWrites_; ///< Per predicate (no +P).
+    /** Bit p set iff pendingPredWrites_[p] > 0 (kept incrementally). */
+    std::uint64_t pendingPredMask_ = 0;
+
+    /** Last step's trigger resolution found nothing eligible. */
+    bool idleCycle_ = false;
 
     // Speculation state (+P / +N). Contexts are ordered oldest first;
     // in-order execution guarantees they resolve front to back.
@@ -220,6 +290,66 @@ class PipelinedPe
 
     PerfCounters counters_;
 };
+
+inline unsigned
+PipelinedPe::schedInputOccupancy(unsigned q) const
+{
+    const TaggedQueue *queue = inputs_[q];
+    if (!queue)
+        return 0;
+    if (queue->faultStuckEmpty())
+        return 0;
+    const unsigned pending = pendingDeq_[q];
+    if (!config_.effectiveQueueStatus) {
+        // Conservative (RAW-style): a dequeue that was in flight at
+        // the start of this cycle — including one that landed in
+        // decode this very cycle — makes the queue look empty.
+        const unsigned pending_at_start = pending + queue->popsThisCycle();
+        return pending_at_start > 0 ? 0 : queue->size();
+    }
+    // Effective status: live occupancy net of in-flight dequeues
+    // (algebraically identical to cycle-start occupancy minus
+    // cycle-start in-flight dequeues).
+    const unsigned live = queue->size();
+    return live > pending ? live - pending : 0;
+}
+
+inline std::optional<Tag>
+PipelinedPe::schedInputHeadTag(unsigned q) const
+{
+    const TaggedQueue *queue = inputs_[q];
+    if (!queue)
+        return std::nullopt;
+    if (queue->faultStuckEmpty())
+        return std::nullopt;
+    const unsigned depth = config_.effectiveQueueStatus ? pendingDeq_[q] : 0;
+    const Token *token = queue->peekPtr(depth);
+    if (token == nullptr)
+        return std::nullopt;
+    return token->tag;
+}
+
+inline bool
+PipelinedPe::schedOutputHasSpace(unsigned q) const
+{
+    const TaggedQueue *queue = outputs_[q];
+    if (!queue)
+        return false;
+    if (queue->faultStuckFull())
+        return false;
+    const unsigned pending = pendingEnq_[q];
+    // Occupancy the consumer cannot have drained yet this cycle:
+    // cycle-start contents plus pushes performed this cycle.
+    const unsigned used = queue->snapshotSize() + queue->pendingPushes();
+    if (!config_.effectiveQueueStatus) {
+        // Conservative: any enqueue in flight at cycle start —
+        // including one that landed this cycle — makes the queue
+        // look full.
+        const unsigned pending_at_start = pending + queue->pendingPushes();
+        return pending_at_start == 0 && used < queue->capacity();
+    }
+    return used + pending < queue->capacity();
+}
 
 } // namespace tia
 

@@ -90,6 +90,9 @@ runCycle(const Workload &workload, const PeConfig &uarch,
 
     run.hang = fabric.hangReport();
     run.totalCycles = fabric.now();
+    const FabricStepStats steps = fabric.stepStats();
+    run.peStepsExecuted = steps.peStepsExecuted;
+    run.peStepsSkipped = steps.peStepsSkipped;
     for (unsigned pe = 0; pe < fabric.numPes(); ++pe)
         run.dynamicInstructions.push_back(
             fabric.pe(pe).counters().retired);

@@ -77,6 +77,10 @@ struct WorkloadRun
     FaultOutcome faultOutcome = FaultOutcome::None;
     /** Per-event injection counts for injected runs. */
     FaultStats faultStats;
+    /** Host-side: PE steps actually executed (cycle runs). */
+    std::uint64_t peStepsExecuted = 0;
+    /** Host-side: PE steps elided by the idle sleep list (cycle runs). */
+    std::uint64_t peStepsSkipped = 0;
 
     bool ok() const { return status == RunStatus::Halted &&
                              checkError.empty(); }

@@ -109,6 +109,29 @@ TEST(Queue, ZeroCapacityRejected)
     EXPECT_ANY_THROW(TaggedQueue(0));
 }
 
+TEST(Queue, RingWraparoundKeepsFifoOrder)
+{
+    // Odd capacity so the ring indices exercise the non-power-of-two
+    // wrap path; enough rounds that head_ laps the buffer repeatedly.
+    TaggedQueue q(3);
+    Word next_in = 0;
+    Word next_out = 0;
+    q.pushImmediate({next_in++, 0});
+    q.pushImmediate({next_in++, 0});
+    for (int round = 0; round < 50; ++round) {
+        q.beginCycle();
+        EXPECT_EQ(q.pop().data, next_out++);
+        q.push({next_in++, static_cast<Tag>(next_in % 4)});
+        ASSERT_TRUE(q.peek(0).has_value());
+        EXPECT_EQ(q.peek(0)->data, next_out);
+        q.commit();
+        EXPECT_EQ(q.size(), 2u);
+    }
+    EXPECT_EQ(q.pop().data, next_out++);
+    EXPECT_EQ(q.pop().data, next_out);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(Queue, TotalsCountLifetimeTraffic)
 {
     TaggedQueue q(2);

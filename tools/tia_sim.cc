@@ -34,6 +34,10 @@
  *                      "seed=7;drop:ch0@p0.01;mispredict:pe0@p0.1"
  *   --watchdog         print the full hang diagnosis (wait-for chain,
  *                      blocked agents) when a run does not halt
+ *   --stats            print host-side simulation statistics: wall
+ *                      time, simulated cycles per host second, and how
+ *                      many PE steps the idle-sleep optimization
+ *                      skipped (cycle-accurate runs only)
  *
  * Single-PE programs with no wiring options get the conventional port
  * map automatically: read port on %o0/%i0, write port on %o1/%o2.
@@ -44,6 +48,7 @@
  * (highest) per-run code.
  */
 
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <fstream>
@@ -151,6 +156,7 @@ struct Options
     std::uint64_t quiescenceWindow = kDefaultQuiescenceWindow;
     std::string injectPlan;
     bool watchdog = false;
+    bool stats = false;
 };
 
 /** Map a run status to the tool's documented exit code. */
@@ -262,6 +268,8 @@ run(const Options &opt)
     if (opt.uarch == "functional") {
         fatalIf(!opt.injectPlan.empty(),
                 "--inject requires a cycle-accurate -u microarchitecture");
+        fatalIf(opt.stats,
+                "--stats requires a cycle-accurate -u microarchitecture");
         FunctionalFabric fabric(config, program);
         preload(fabric.memory());
         const RunStatus status = fabric.run(opt.maxCycles);
@@ -310,8 +318,13 @@ run(const Options &opt)
         CycleFabric fabric(config, program, uarch,
                            injector ? &*injector : nullptr);
         preload(fabric.memory());
+        const auto host_start = std::chrono::steady_clock::now();
         const RunStatus status =
             fabric.run({opt.maxCycles, opt.quiescenceWindow});
+        const double host_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - host_start)
+                .count();
 
         std::string text;
         appendf(text, "%s simulation: %s after %llu cycles\n",
@@ -334,6 +347,27 @@ run(const Options &opt)
             appendf(text, "fault injection (%s):\n%s",
                     injector->plan().toString().c_str(),
                     injector->stats().summary().c_str());
+        }
+        if (opt.stats) {
+            const FabricStepStats steps = fabric.stepStats();
+            const std::uint64_t total =
+                steps.peStepsExecuted + steps.peStepsSkipped;
+            appendf(text,
+                    "host stats: %.3f ms wall, %.0f simulated "
+                    "cycles/s\n",
+                    host_seconds * 1e3,
+                    host_seconds > 0.0
+                        ? static_cast<double>(fabric.now()) / host_seconds
+                        : 0.0);
+            appendf(text,
+                    "  PE steps: %llu executed, %llu skipped while "
+                    "asleep (%.1f%%)\n",
+                    static_cast<unsigned long long>(steps.peStepsExecuted),
+                    static_cast<unsigned long long>(steps.peStepsSkipped),
+                    total > 0
+                        ? 100.0 * static_cast<double>(steps.peStepsSkipped) /
+                              static_cast<double>(total)
+                        : 0.0);
         }
         dump(text, fabric.memory());
         return std::make_pair(exitCode(status), std::move(text));
@@ -410,6 +444,8 @@ main(int argc, char **argv)
                 opt.injectPlan = next();
             } else if (arg == "--watchdog") {
                 opt.watchdog = true;
+            } else if (arg == "--stats") {
+                opt.stats = true;
             } else if (!arg.empty() && arg[0] != '-' &&
                        opt.program.empty()) {
                 opt.program = arg;
