@@ -76,7 +76,7 @@ memoryLatencySweep(const WorkloadSizes &sizes)
                 std::printf(" FAIL");
                 continue;
             }
-            std::printf(" %-9.3f", run.worker.cpi());
+            std::printf(" %-9s", formatCpi(run.worker.cpi()).c_str());
         }
         std::printf("\n");
     }

@@ -56,9 +56,10 @@ main()
             avg += cpiStack(run.worker);
         }
         avg /= static_cast<double>(suite.size());
-        std::printf("%-18s %-6.3f %-8.3f %-8.3f %-9.3f %-8.3f %-9.3f "
+        std::printf("%-18s %-6s %-8.3f %-8.3f %-9.3f %-8.3f %-9.3f "
                     "%-9.3f\n",
-                    config.name().c_str(), avg.total(), avg.retired,
+                    config.name().c_str(),
+                    formatCpi(avg.total()).c_str(), avg.retired,
                     avg.quashed, avg.predicateHazard, avg.dataHazard,
                     avg.forbidden, avg.noTrigger);
         if (config.shape.depth() == 4) {

@@ -1,0 +1,77 @@
+#include "obs/binary_ring.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/logging.hh"
+
+namespace tia {
+
+BinaryRingSink::BinaryRingSink(std::size_t capacity) : ring_(capacity)
+{
+    fatalIf(capacity == 0, "trace ring capacity must be positive");
+}
+
+const BinaryTraceRecord &
+BinaryRingSink::at(std::size_t i) const
+{
+    panicIf(i >= stored_, "trace ring index out of range");
+    // When full, the oldest record sits at next_ (the slot about to be
+    // overwritten); before wraparound it sits at 0.
+    const std::size_t base = stored_ == ring_.size() ? next_ : 0;
+    std::size_t index = base + i;
+    if (index >= ring_.size())
+        index -= ring_.size();
+    return ring_[index];
+}
+
+bool
+BinaryRingSink::writeTo(const std::string &path) const
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return false;
+    BinaryTraceFileHeader header;
+    header.totalRecorded = total_;
+    header.stored = stored_;
+    bool ok =
+        std::fwrite(&header, sizeof(header), 1, file) == 1;
+    for (std::size_t i = 0; ok && i < stored_; ++i) {
+        const BinaryTraceRecord &record = at(i);
+        ok = std::fwrite(&record, sizeof(record), 1, file) == 1;
+    }
+    return std::fclose(file) == 0 && ok;
+}
+
+bool
+readBinaryTrace(const std::string &path,
+                std::vector<BinaryTraceRecord> &records,
+                BinaryTraceFileHeader *header)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
+        return false;
+    BinaryTraceFileHeader head;
+    bool ok = std::fread(&head, sizeof(head), 1, file) == 1;
+    const BinaryTraceFileHeader expected;
+    ok = ok &&
+         std::memcmp(head.magic, expected.magic, sizeof(head.magic)) == 0 &&
+         head.version == expected.version &&
+         head.recordBytes == sizeof(BinaryTraceRecord);
+    if (ok) {
+        std::vector<BinaryTraceRecord> loaded(
+            static_cast<std::size_t>(head.stored));
+        ok = loaded.empty() ||
+             std::fread(loaded.data(), sizeof(BinaryTraceRecord),
+                        loaded.size(), file) == loaded.size();
+        if (ok) {
+            records = std::move(loaded);
+            if (header != nullptr)
+                *header = head;
+        }
+    }
+    std::fclose(file);
+    return ok;
+}
+
+} // namespace tia

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Compact binary ring-buffer trace sink for long runs: the newest
+ * `capacity` events are kept in a preallocated ring of fixed 24-byte
+ * records; older events are overwritten (and counted as dropped).
+ * Recording is a store plus two increments — cheap enough to leave on
+ * for billion-cycle runs where a JSON exporter would be prohibitive.
+ *
+ * File format ("TIARING1"): a BinaryTraceFileHeader followed by the
+ * stored records oldest-first. Everything is host-endian; the format
+ * is a debugging aid for same-host consumers, not an interchange
+ * format.
+ */
+
+#ifndef TIA_OBS_BINARY_RING_HH
+#define TIA_OBS_BINARY_RING_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace tia {
+
+/** On-disk record: a TraceEvent with explicit field widths. */
+struct BinaryTraceRecord
+{
+    std::uint64_t cycle = 0;
+    std::uint32_t pe = 0;
+    std::uint8_t kind = 0;
+    std::uint8_t arg = 0;
+    std::uint16_t index = 0;
+    std::uint64_t value = 0;
+
+    bool operator==(const BinaryTraceRecord &) const = default;
+};
+
+static_assert(sizeof(BinaryTraceRecord) == 24,
+              "the ring record must stay packed at 24 bytes");
+
+/** On-disk header preceding the records. */
+struct BinaryTraceFileHeader
+{
+    char magic[8] = {'T', 'I', 'A', 'R', 'I', 'N', 'G', '1'};
+    std::uint32_t version = 1;
+    std::uint32_t recordBytes = sizeof(BinaryTraceRecord);
+    std::uint64_t totalRecorded = 0; ///< Events ever seen.
+    std::uint64_t stored = 0;        ///< Records that follow.
+};
+
+class BinaryRingSink : public TraceSink
+{
+  public:
+    explicit BinaryRingSink(std::size_t capacity);
+
+    void
+    record(const TraceEvent &event) override
+    {
+        BinaryTraceRecord &slot = ring_[next_];
+        slot.cycle = event.cycle;
+        slot.pe = event.pe;
+        slot.kind = static_cast<std::uint8_t>(event.kind);
+        slot.arg = event.arg;
+        slot.index = event.index;
+        slot.value = event.value;
+        next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+        if (stored_ < ring_.size())
+            ++stored_;
+        ++total_;
+    }
+
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const { return stored_; }
+
+    /** Events ever recorded. */
+    std::uint64_t recorded() const { return total_; }
+
+    /** Events overwritten because the ring was full. */
+    std::uint64_t dropped() const { return total_ - stored_; }
+
+    /** Stored record @p i, oldest first (i < size()). */
+    const BinaryTraceRecord &at(std::size_t i) const;
+
+    /** Write header + stored records to @p path. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::vector<BinaryTraceRecord> ring_;
+    std::size_t next_ = 0;   ///< Ring index of the next write.
+    std::size_t stored_ = 0; ///< Valid records in the ring.
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Read back a trace file written by writeTo(); returns false (and
+ * leaves @p records untouched) on a missing file or a bad header.
+ */
+bool readBinaryTrace(const std::string &path,
+                     std::vector<BinaryTraceRecord> &records,
+                     BinaryTraceFileHeader *header = nullptr);
+
+} // namespace tia
+
+#endif // TIA_OBS_BINARY_RING_HH

@@ -267,6 +267,8 @@ class TaggedQueue
         ring_[wrap(head_ + committed_)] = token;
         ++committed_;
         ++totalPushes_;
+        if (committed_ > highWater_)
+            highWater_ = committed_;
         if (log_)
             log_->recordPush(channelId_);
     }
@@ -275,6 +277,12 @@ class TaggedQueue
     std::uint64_t totalPushes() const { return totalPushes_; }
     /** Total tokens ever popped. */
     std::uint64_t totalPops() const { return totalPops_; }
+
+    /**
+     * Highest occupancy ever reached (committed + deferred pushes) —
+     * the channel-sizing signal the observability layer reports.
+     */
+    unsigned highWater() const { return highWater_; }
 
     /** True if a push from this cycle is awaiting commit(). */
     bool hasPendingPush() const { return pending_ != 0; }
@@ -327,6 +335,8 @@ class TaggedQueue
         ring_[wrap(head_ + committed_ + pending_)] = token;
         ++pending_;
         ++totalPushes_;
+        if (committed_ + pending_ > highWater_)
+            highWater_ = committed_ + pending_;
         if (log_)
             log_->recordPush(channelId_);
     }
@@ -338,6 +348,7 @@ class TaggedQueue
     unsigned pending_ = 0;   ///< Deferred pushes awaiting commit().
     unsigned snapshotSize_ = 0;
     unsigned popsThisCycle_ = 0;
+    unsigned highWater_ = 0; ///< Max committed_ + pending_ ever seen.
     std::uint64_t totalPushes_ = 0;
     std::uint64_t totalPops_ = 0;
     ChannelFaultHook *faultHook_ = nullptr;

@@ -19,6 +19,23 @@ PipelineShape::name() const
     return name;
 }
 
+std::vector<std::string>
+PipelineShape::segmentNames() const
+{
+    std::vector<std::string> segments;
+    std::string current;
+    for (char c : name()) {
+        if (c == '|') {
+            segments.push_back(current);
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    segments.push_back(current);
+    return segments;
+}
+
 const std::array<PipelineShape, 8> &
 allShapes()
 {

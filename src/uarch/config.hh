@@ -43,6 +43,13 @@ struct PipelineShape
     /** Canonical name, e.g. "T|DX1|X2". */
     std::string name() const;
 
+    /**
+     * Per-segment labels in pipeline order — name() split at the
+     * registers, e.g. {"T", "DX1", "X2"}. size() == depth(). Used to
+     * label stage-occupancy trace tracks (obs/chrome_trace.hh).
+     */
+    std::vector<std::string> segmentNames() const;
+
     bool operator==(const PipelineShape &) const = default;
 };
 

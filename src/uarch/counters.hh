@@ -11,7 +11,10 @@
 #ifndef TIA_UARCH_COUNTERS_HH
 #define TIA_UARCH_COUNTERS_HH
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <limits>
 #include <string>
 
 #include "core/types.hh"
@@ -42,11 +45,16 @@ struct PerfCounters
     std::uint64_t faultsInjected = 0;  ///< Predictions inverted by a fault.
     std::uint64_t faultRecoveries = 0; ///< Injected flips repaired by rollback.
 
-    /** Cycles per retired instruction. */
+    /**
+     * Cycles per retired instruction. A PE that retired nothing (never
+     * triggered, or deadlocked) has no CPI: reporting 0.0 would claim
+     * the best possible one, so the undefined case is NaN — rendered
+     * "-" by formatCpi() and null in JSON.
+     */
     double
     cpi() const
     {
-        return retired == 0 ? 0.0
+        return retired == 0 ? std::numeric_limits<double>::quiet_NaN()
                             : static_cast<double>(cycles) /
                                   static_cast<double>(retired);
     }
@@ -127,6 +135,11 @@ struct CpiStack
     CpiStack &
     operator/=(double divisor)
     {
+        // Averaging over an empty workload set is undefined; make it
+        // uniformly NaN (rendered "-" / null) instead of letting a
+        // zero divisor leak 0/0 and inf into the Figure 5 tables.
+        if (divisor == 0.0)
+            divisor = std::numeric_limits<double>::quiet_NaN();
         retired /= divisor;
         quashed /= divisor;
         predicateHazard /= divisor;
@@ -136,6 +149,21 @@ struct CpiStack
         return *this;
     }
 };
+
+/**
+ * Render a CPI-like value for tables: "-" for the undefined (NaN or
+ * infinite) case, a fixed-point number otherwise. Shared by the
+ * tia-sim counter printout and the bench CPI tables.
+ */
+inline std::string
+formatCpi(double value, int precision = 3)
+{
+    if (!std::isfinite(value))
+        return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
 
 /** Convert raw counters to a CPI stack. */
 inline CpiStack

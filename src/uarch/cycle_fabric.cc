@@ -134,6 +134,36 @@ CycleFabric::wakeParkedPe(unsigned index)
     syncSleepCounters(index);
     asleep_[index] = false;
     activePes_.push_back(index);
+    if (trace_) [[unlikely]]
+        traceEvent(index, TraceEventKind::Wake);
+}
+
+void
+CycleFabric::traceEvent(std::uint32_t pe, TraceEventKind kind,
+                        std::uint16_t index, std::uint64_t value) const
+{
+    trace_->record({now_, pe, kind, 0, index, value});
+}
+
+void
+CycleFabric::traceQueueDepths() const
+{
+    // One committed-occupancy sample per channel touched this cycle
+    // (the dirty list was cleared at step entry, so it now holds
+    // exactly this cycle's activity).
+    for (unsigned ch : events_.dirtyChannels()) {
+        traceEvent(kChannelAgent, TraceEventKind::QueueDepth,
+                   static_cast<std::uint16_t>(ch), channels_[ch]->size());
+    }
+}
+
+void
+CycleFabric::setTraceSink(TraceSink *sink, TraceLevel level)
+{
+    trace_ = sink;
+    traceLevel_ = level;
+    for (unsigned pe = 0; pe < pes_.size(); ++pe)
+        pes_[pe]->setTraceSink(sink, level, pe);
 }
 
 void
@@ -220,12 +250,19 @@ CycleFabric::step()
                 break;
             }
         }
-        if (pending)
+        if (pending) {
             activePes_.push_back(index);
-        else
+        } else {
             asleep_[index] = true;
+            if (trace_) [[unlikely]]
+                traceEvent(index, TraceEventKind::Park);
+        }
     }
     parkCandidates_.clear();
+
+    // Depth tracks (`cycles` level only).
+    if (trace_ && traceLevel_ == TraceLevel::Cycles) [[unlikely]]
+        traceQueueDepths();
 
     ++now_;
 }

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/program.hh"
+#include "obs/trace.hh"
 #include "sim/fabric_config.hh"
 #include "sim/fault.hh"
 #include "sim/functional.hh" // RunStatus
@@ -148,6 +149,39 @@ class CycleFabric
 
     unsigned numPes() const { return static_cast<unsigned>(pes_.size()); }
 
+    unsigned
+    numChannels() const
+    {
+        return static_cast<unsigned>(channels_.size());
+    }
+
+    /** Channel access (e.g. high-water marks for metrics). */
+    const TaggedQueue &channel(unsigned ch) const { return *channels_[ch]; }
+
+    /**
+     * Install (or clear, with nullptr) a trace sink on the fabric and
+     * every PE. The fabric contributes park/wake instants and (at
+     * Cycles level) end-of-cycle queue depths; the PEs contribute the
+     * issue-slot, predictor and stage events (see obs/trace.hh).
+     * Idle-PE sleep stays enabled under tracing — a parked PE's
+     * skipped cycles surface as retroactive no-trigger attributions at
+     * settlement, keeping trace-derived counters bit-identical.
+     */
+    void setTraceSink(TraceSink *sink,
+                      TraceLevel level = TraceLevel::Events);
+
+    /**
+     * Route every PE's trigger resolution through the virtual
+     * QueueStatusView reference scheduler (bit-identical to the mask
+     * fast path; see PipelinedPe::setUseReferenceScheduler).
+     */
+    void
+    setUseReferenceScheduler(bool enabled)
+    {
+        for (auto &pe : pes_)
+            pe->setUseReferenceScheduler(enabled);
+    }
+
     /**
      * Enable/disable idle-PE sleep (enabled by default without a fault
      * injector; always off with one). Disabling wakes every parked PE;
@@ -191,6 +225,18 @@ class CycleFabric
     /** Settle the sleep debt of every parked PE (before observation). */
     void flushSleepDebt() const;
 
+    /**
+     * Out-of-line cold emission for the fabric's own trace events
+     * (park/wake, end-of-cycle queue depths) — keeps the `if (trace_)`
+     * guards in step() down to a test plus a call to a cold section.
+     */
+    [[gnu::cold, gnu::noinline]] void
+    traceEvent(std::uint32_t pe, TraceEventKind kind,
+               std::uint16_t index = 0, std::uint64_t value = 0) const;
+
+    /** Cold end-of-cycle queue-depth samples (`cycles` level only). */
+    [[gnu::cold, gnu::noinline]] void traceQueueDepths() const;
+
     FabricConfig config_;
     Memory memory_;
     std::vector<std::unique_ptr<TaggedQueue>> channels_;
@@ -229,6 +275,12 @@ class CycleFabric
     // Host-side statistics.
     std::uint64_t stepsExecuted_ = 0;
     mutable std::uint64_t stepsSkipped_ = 0;
+
+    // Observability (optional, non-owning). Last on purpose: the hot
+    // step loop touches the members above every cycle, and inserting
+    // fields ahead of them shifts their offsets across cache lines.
+    TraceSink *trace_ = nullptr;
+    TraceLevel traceLevel_ = TraceLevel::Events;
 };
 
 } // namespace tia

@@ -1,0 +1,52 @@
+#include "uarch/fabric_metrics.hh"
+
+#include "obs/metrics.hh"
+
+namespace tia {
+
+JsonValue
+fabricRunMetrics(CycleFabric &fabric, const PeConfig &uarch,
+                 RunStatus status)
+{
+    JsonValue run = JsonValue::object();
+    run["uarch"] = uarch.name();
+    run["status"] = runStatusName(status);
+    run["cycles"] = fabric.now();
+    run["num_pes"] = fabric.numPes();
+
+    const HangReport &report = fabric.hangReport();
+    JsonValue verdict = JsonValue::object();
+    verdict["classification"] = runStatusName(report.classification);
+    verdict["summary"] = report.summary;
+    run["verdict"] = std::move(verdict);
+
+    const FabricStepStats steps = fabric.stepStats();
+    run["sleep"] =
+        sleepMetricsJson(steps.peStepsExecuted, steps.peStepsSkipped);
+
+    JsonValue pes = JsonValue::array();
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+        // The const accessor settles sleep debt without waking.
+        const PipelinedPe &state =
+            const_cast<const CycleFabric &>(fabric).pe(pe);
+        JsonValue entry =
+            peMetricsJson(pe, state.counters(), state.inFlight());
+        entry["halted"] = state.halted();
+        pes.push(std::move(entry));
+    }
+    run["pes"] = std::move(pes);
+
+    JsonValue channels = JsonValue::object();
+    JsonValue highWater = JsonValue::array();
+    unsigned capacity = 0;
+    for (unsigned ch = 0; ch < fabric.numChannels(); ++ch) {
+        highWater.push(fabric.channel(ch).highWater());
+        capacity = fabric.channel(ch).capacity();
+    }
+    channels["capacity"] = capacity;
+    channels["high_water"] = std::move(highWater);
+    run["channels"] = std::move(channels);
+    return run;
+}
+
+} // namespace tia

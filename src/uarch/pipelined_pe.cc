@@ -103,6 +103,42 @@ PipelinedPe::bindOutput(unsigned port, TaggedQueue *queue)
 }
 
 void
+PipelinedPe::trace(TraceEventKind kind, std::uint8_t arg,
+                   std::uint16_t index, std::uint64_t value) const
+{
+    trace_->record(
+        {counters_.cycles - 1, traceId_, kind, arg, index, value});
+}
+
+void
+PipelinedPe::traceBucket(TraceBucket bucket) const
+{
+    trace(TraceEventKind::Attribution, static_cast<std::uint8_t>(bucket));
+}
+
+ScheduleResult
+PipelinedPe::scheduleReference() const
+{
+    // Equivalence-pinned slow path (see setUseReferenceScheduler).
+    return schedule(program_, preds_, pendingPredMask_,
+                    CycleQueueView(*this));
+}
+
+void
+PipelinedPe::traceSkippedCycles(std::uint64_t n) const
+{
+    // Retroactive settlement: the first skipped cycle is the one after
+    // the last counted cycle. Still in per-PE cycle order (see the
+    // ordering note in obs/trace.hh).
+    for (std::uint64_t i = 0; i < n; ++i) {
+        trace_->record({counters_.cycles + i, traceId_,
+                        TraceEventKind::Attribution,
+                        static_cast<std::uint8_t>(TraceBucket::NoTrigger),
+                        0, 0});
+    }
+}
+
+void
 PipelinedPe::setRegs(const std::vector<Word> &values)
 {
     fatalIf(values.size() > regs_.size(),
@@ -271,6 +307,9 @@ PipelinedPe::flushSpeculative()
             --pendingEnq_[inst.dst.index];
         }
         ++counters_.quashed;
+        if (trace_) [[unlikely]]
+            trace(TraceEventKind::Quash, 0,
+                  static_cast<std::uint16_t>(slot->index), slot->id);
         slot.reset();
     }
 }
@@ -290,6 +329,8 @@ PipelinedPe::doWriteback(InFlight &entry)
     Word result = 0;
     if (info.isHalt) {
         halted_ = true;
+        if (trace_) [[unlikely]]
+            trace(TraceEventKind::Halt);
     } else if (info.readsScratchpad) {
         const Word address = a + b;
         fatalIf(address >= scratchpad_.size(), "scratchpad load at ",
@@ -328,6 +369,13 @@ PipelinedPe::doWriteback(InFlight &entry)
                         specContexts_.front().id != entry.id,
                     "predictor retired outside its speculation window");
             predictor_.train(inst.dst.index, actual);
+            if (trace_) [[unlikely]] {
+                const bool mispredicted = actual != entry.predictedValue;
+                trace(TraceEventKind::Resolve,
+                      static_cast<std::uint8_t>(inst.dst.index), 0,
+                      (actual ? 1u : 0u) | (mispredicted ? 2u : 0u) |
+                          (mispredicted && entry.faultFlipped ? 4u : 0u));
+            }
             if (actual == entry.predictedValue) {
                 // Confirmed: this (oldest) context retires; everything
                 // issued under it sheds one speculation level.
@@ -365,6 +413,13 @@ PipelinedPe::doWriteback(InFlight &entry)
       }
     }
     ++counters_.retired;
+    if (trace_) [[unlikely]] {
+        const std::uint8_t flags = inst.dst.type == DstType::Predicate
+                                       ? kRetireWrotePredicate
+                                       : 0;
+        trace(TraceEventKind::Retire, flags,
+              static_cast<std::uint16_t>(entry.index), entry.id);
+    }
 }
 
 void
@@ -372,29 +427,42 @@ PipelinedPe::issue()
 {
     if (squashIssueThisCycle_) {
         ++counters_.quashed;
+        if (trace_) [[unlikely]]
+            trace(TraceEventKind::Quash, kQuashIssueSlot);
         return;
     }
     if (haltIssued_) {
         // Scheduler is off while the halt drains.
         ++counters_.noTrigger;
+        if (trace_) [[unlikely]]
+            traceBucket(TraceBucket::NoTrigger);
         return;
     }
     if (slots_[0].has_value()) {
         // The only stall source in these pipelines is a register
         // dependence holding an instruction in its decode segment.
         ++counters_.dataHazard;
+        if (trace_) [[unlikely]]
+            traceBucket(TraceBucket::DataHazard);
         return;
     }
 
-    const ScheduleResult result = schedule(
-        triggerDescs_, preds_, pendingPredMask_, computeStatusWords());
+    const ScheduleResult result =
+        referenceScheduler_
+            ? scheduleReference()
+            : schedule(triggerDescs_, preds_, pendingPredMask_,
+                       computeStatusWords());
     if (result.outcome == ScheduleOutcome::BlockedOnPredicate) {
         ++counters_.predicateHazard;
+        if (trace_) [[unlikely]]
+            traceBucket(TraceBucket::PredicateHazard);
         return;
     }
     if (result.outcome == ScheduleOutcome::None) {
         ++counters_.noTrigger;
         idleCycle_ = true;
+        if (trace_) [[unlikely]]
+            traceBucket(TraceBucket::NoTrigger);
         return;
     }
 
@@ -409,6 +477,8 @@ PipelinedPe::issue()
         if (inst.hasPreRetirementSideEffect() || opInfo(inst.op).isHalt ||
             (inst.writesPredicate() && !nested_ok)) {
             ++counters_.forbidden;
+            if (trace_) [[unlikely]]
+                traceBucket(TraceBucket::Forbidden);
             return;
         }
     }
@@ -419,6 +489,10 @@ PipelinedPe::issue()
     entry.index = result.index;
     entry.id = nextId_++;
     entry.specLevel = static_cast<unsigned>(specContexts_.size());
+    if (trace_) [[unlikely]]
+        trace(TraceEventKind::Issue,
+              static_cast<std::uint8_t>(entry.specLevel),
+              static_cast<std::uint16_t>(entry.index), entry.id);
 
     // Trigger-time predicate update applies at issue.
     preds_ = (preds_ | inst.predSet) & ~inst.predClear;
@@ -439,6 +513,11 @@ PipelinedPe::issue()
             const std::uint64_t bit = std::uint64_t{1} << inst.dst.index;
             preds_ = (preds_ & ~bit) | (predicted ? bit : 0);
             ++counters_.predictions;
+            if (trace_) [[unlikely]]
+                trace(TraceEventKind::Predict,
+                      static_cast<std::uint8_t>(inst.dst.index), 0,
+                      (predicted ? 1u : 0u) |
+                          (entry.faultFlipped ? 2u : 0u));
         } else {
             ++pendingPredWrites_[inst.dst.index];
             pendingPredMask_ |= std::uint64_t{1} << inst.dst.index;
@@ -486,6 +565,18 @@ PipelinedPe::step()
 
     // (b) Trigger phase: issue (or attribute the lost cycle).
     issue();
+
+    // Stage occupancy after issue and before advance: what each
+    // pipeline segment held while this cycle's work executed.
+    if (trace_ && traceLevel_ == TraceLevel::Cycles) [[unlikely]] {
+        for (unsigned s = 0; s <= lastSeg(); ++s) {
+            if (slots_[s].has_value())
+                trace(TraceEventKind::StageOccupancy,
+                      static_cast<std::uint8_t>(s),
+                      static_cast<std::uint16_t>(slots_[s]->index),
+                      slots_[s]->id);
+        }
+    }
 
     // (c) Advance. Retire writeback-complete instructions, then move
     // everything whose segment work is done and whose next slot is

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/program.hh"
+#include "obs/trace.hh"
 #include "sim/queue.hh"
 #include "sim/scheduler.hh"
 #include "uarch/config.hh"
@@ -93,6 +94,33 @@ class PipelinedPe
         peId_ = id;
     }
 
+    /**
+     * Install (or clear, with nullptr) a trace sink; @p id names this
+     * PE in the event stream. Every counter increment then emits one
+     * event at the incrementing statement (see obs/trace.hh); with no
+     * sink the emission sites cost one null test each.
+     */
+    void
+    setTraceSink(TraceSink *sink, TraceLevel level, unsigned id)
+    {
+        trace_ = sink;
+        traceLevel_ = level;
+        traceId_ = id;
+    }
+
+    /**
+     * Route trigger resolution through the virtual QueueStatusView
+     * reference scheduler instead of the compiled mask fast path. The
+     * two are bit-identical (tests/test_hot_path.cc); the runtime
+     * switch lets the observability tests cross-check trace-derived
+     * counters against both implementations end to end.
+     */
+    void
+    setUseReferenceScheduler(bool enabled)
+    {
+        referenceScheduler_ = enabled;
+    }
+
     /** Diagnose what (if anything) this PE is blocked on. */
     PeWaitInfo queueWaits() const;
 
@@ -122,6 +150,8 @@ class PipelinedPe
     void
     skipIdleCycles(std::uint64_t n)
     {
+        if (trace_) [[unlikely]]
+            traceSkippedCycles(n);
         counters_.cycles += n;
         counters_.noTrigger += n;
     }
@@ -218,6 +248,31 @@ class PipelinedPe
 
     Word readSource(const Source &src, Word imm) const;
 
+    /**
+     * Emit one trace event stamped with the cycle step() is executing
+     * (counters_.cycles was already incremented at step entry). Callers
+     * guard with `if (trace_)` so the disabled path stays one test;
+     * the body lives out of line in a cold section so the dozen-plus
+     * emission sites do not bloat the hot step loop's code footprint.
+     */
+    [[gnu::cold, gnu::noinline]] void
+    trace(TraceEventKind kind, std::uint8_t arg = 0,
+          std::uint16_t index = 0, std::uint64_t value = 0) const;
+
+    [[gnu::cold, gnu::noinline]] void traceBucket(TraceBucket bucket) const;
+
+    /** Retroactive no-trigger settlement for @p n skipped cycles. */
+    [[gnu::cold, gnu::noinline]] void
+    traceSkippedCycles(std::uint64_t n) const;
+
+    /**
+     * Trigger resolution through the virtual QueueStatusView reference
+     * scheduler (setUseReferenceScheduler). Out of line and cold so
+     * the view construction and virtual scheduler stay off issue()'s
+     * fast path and out of its inlining budget.
+     */
+    [[gnu::cold, gnu::noinline]] ScheduleResult scheduleReference() const;
+
     const ArchParams params_;
     const PeConfig config_;
     std::vector<Instruction> program_;
@@ -289,6 +344,15 @@ class PipelinedPe
     unsigned peId_ = 0;
 
     PerfCounters counters_;
+
+    // Observability (optional, non-owning). Last on purpose: keeps
+    // the per-cycle members above — counters_ especially — at their
+    // established offsets.
+    TraceSink *trace_ = nullptr;
+    TraceLevel traceLevel_ = TraceLevel::Events;
+    std::uint32_t traceId_ = 0;
+    /** Use the virtual reference scheduler instead of the mask path. */
+    bool referenceScheduler_ = false;
 };
 
 inline unsigned

@@ -87,12 +87,6 @@ DesignSpace::frequencyGridMhz(VtClass vt, double vdd) const
     return gridFor(vt, vdd, tech_);
 }
 
-std::vector<double>
-DesignSpace::defaultFrequencyGridMhz(VtClass vt, double vdd)
-{
-    return gridFor(vt, vdd, TechModel{});
-}
-
 std::size_t
 DesignSpace::gridSize(const std::vector<PeConfig> &configs) const
 {

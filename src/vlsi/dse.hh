@@ -98,16 +98,6 @@ class DesignSpace
     std::vector<double> frequencyGridMhz(VtClass vt, double vdd) const;
 
     /**
-     * @deprecated Nominal-corner shim for the old static interface;
-     * refines around the default TechModel's thresholds regardless of
-     * the sweep's corner. Use the member frequencyGridMhz().
-     */
-    [[deprecated("use the member frequencyGridMhz(), which respects "
-                 "the sweep's tech model")]]
-    static std::vector<double> defaultFrequencyGridMhz(VtClass vt,
-                                                       double vdd);
-
-    /**
      * Number of (config, vt, vdd, f) grid points attempted, i.e. the
      * size of the characterization sweep before timing-closure
      * pruning (the paper's "over 4,000 design points").

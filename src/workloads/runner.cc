@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "exec/sweep.hh"
+#include "obs/metrics.hh"
 #include "uarch/cycle_fabric.hh"
 
 namespace tia {
@@ -69,6 +70,10 @@ runCycle(const Workload &workload, const PeConfig &uarch,
     CycleFabric fabric(workload.config, workload.program, uarch,
                        injector ? &*injector : nullptr);
     workload.preload(fabric.memory());
+    if (options.trace != nullptr)
+        fabric.setTraceSink(options.trace, options.traceLevel);
+    if (options.referenceScheduler)
+        fabric.setUseReferenceScheduler(true);
 
     const FabricRunOptions fabric_options{options.maxCycles,
                                           options.quiescenceWindow};
@@ -97,6 +102,8 @@ runCycle(const Workload &workload, const PeConfig &uarch,
         run.dynamicInstructions.push_back(
             fabric.pe(pe).counters().retired);
     run.worker = fabric.pe(workload.workerPe).counters();
+    run.workerInFlight = fabric.pe(workload.workerPe).inFlight();
+    run.workerPe = workload.workerPe;
     if (trapped) {
         // checkError already explains the trap.
     } else if (run.status == RunStatus::Halted) {
@@ -130,6 +137,51 @@ runCycle(const Workload &workload, const PeConfig &uarch,
         }
     }
     return run;
+}
+
+JsonValue
+workloadRunMetrics(const WorkloadRun &run, const PeConfig &uarch,
+                   const std::string &workload)
+{
+    JsonValue entry = JsonValue::object();
+    entry["workload"] = workload;
+    entry["uarch"] = uarch.name();
+    entry["status"] = run.ok() ? "ok" : runStatusName(run.status);
+    if (!run.checkError.empty())
+        entry["check_error"] = run.checkError;
+    entry["cycles"] = run.totalCycles;
+    entry["num_pes"] =
+        static_cast<std::uint64_t>(run.dynamicInstructions.size());
+
+    JsonValue verdict = JsonValue::object();
+    verdict["classification"] = runStatusName(run.hang.classification);
+    verdict["summary"] = run.hang.summary;
+    entry["verdict"] = std::move(verdict);
+
+    entry["sleep"] =
+        sleepMetricsJson(run.peStepsExecuted, run.peStepsSkipped);
+
+    JsonValue pes = JsonValue::array();
+    pes.push(peMetricsJson(run.workerPe, run.worker, run.workerInFlight));
+    entry["pes"] = std::move(pes);
+
+    if (run.faultOutcome != FaultOutcome::None ||
+        run.faultStats.totalFired() != 0) {
+        JsonValue faults = JsonValue::object();
+        faults["outcome"] = faultOutcomeName(run.faultOutcome);
+        faults["total_fired"] = run.faultStats.totalFired();
+        JsonValue lines = JsonValue::array();
+        for (const auto &line : run.faultStats.lines) {
+            JsonValue item = JsonValue::object();
+            item["name"] = line.name;
+            item["fired"] = line.fired;
+            item["declined"] = line.declined;
+            lines.push(std::move(item));
+        }
+        faults["lines"] = std::move(lines);
+        entry["faults"] = std::move(faults);
+    }
+    return entry;
 }
 
 CycleMatrix

@@ -15,6 +15,8 @@
 #ifndef TIA_WORKLOADS_RUNNER_HH
 #define TIA_WORKLOADS_RUNNER_HH
 
+#include "obs/json.hh"
+#include "obs/trace.hh"
 #include "sim/fault.hh"
 #include "sim/functional.hh"
 #include "sim/hang_diagnosis.hh"
@@ -57,6 +59,16 @@ struct CycleRunOptions
      * architectural traps raised by corrupted state.)
      */
     bool goldenCrossCheck = false;
+    /** Trace sink installed on the fabric (non-owning; nullptr = off). */
+    TraceSink *trace = nullptr;
+    /** Trace granularity when @ref trace is set (see obs/trace.hh). */
+    TraceLevel traceLevel = TraceLevel::Events;
+    /**
+     * Resolve triggers through the virtual QueueStatusView reference
+     * scheduler instead of the mask fast path (bit-identical results;
+     * exists so tests and tools can cross-check the two).
+     */
+    bool referenceScheduler = false;
 };
 
 /** Result of one workload execution. */
@@ -67,6 +79,10 @@ struct WorkloadRun
     std::string checkError;
     /** Worker PE counters (cycle runs; functional fills a subset). */
     PerfCounters worker;
+    /** Worker PE in-flight instructions at run end (cycle runs). */
+    std::uint64_t workerInFlight = 0;
+    /** Index of the worker PE the counters above belong to. */
+    unsigned workerPe = 0;
     /** Dynamic instructions per PE. */
     std::vector<std::uint64_t> dynamicInstructions;
     /** Total cycles simulated (cycle runs). */
@@ -130,6 +146,18 @@ CycleMatrix runCycleMatrix(const std::vector<Workload> &workloads,
                            const std::vector<PeConfig> &configs,
                            const CycleRunOptions &options = {},
                            unsigned jobs = 1);
+
+/**
+ * Build the tia-metrics/v1 run entry for a finished cycle run: status,
+ * cycle count, hang verdict, sleep statistics, the worker PE's
+ * counters/CPI stack and (for injected runs) the fault outcome. The
+ * single-element "pes" array carries the worker PE only — matching
+ * what WorkloadRun retains — while "num_pes" reports the true fabric
+ * size, so validators apply whole-fabric identities only when the two
+ * agree.
+ */
+JsonValue workloadRunMetrics(const WorkloadRun &run, const PeConfig &uarch,
+                             const std::string &workload);
 
 } // namespace tia
 

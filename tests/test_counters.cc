@@ -3,6 +3,8 @@
  * PerfCounters / CpiStack arithmetic tests.
  */
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "uarch/counters.hh"
@@ -35,15 +37,44 @@ TEST(Counters, CpiAndRates)
     EXPECT_DOUBLE_EQ(c.predictionAccuracy(), 0.75);
 }
 
-TEST(Counters, ZeroRetiredIsSafe)
+TEST(Counters, ZeroRetiredCpiIsNan)
 {
+    // A PE that retired nothing has no CPI; reporting 0.0 (a perfect
+    // score) silently skewed averages and tables. NaN propagates and
+    // formats as "-".
     PerfCounters c;
     c.cycles = 10;
-    EXPECT_DOUBLE_EQ(c.cpi(), 0.0);
+    EXPECT_TRUE(std::isnan(c.cpi()));
     EXPECT_DOUBLE_EQ(c.predicateWriteRate(), 0.0);
     EXPECT_DOUBLE_EQ(c.predictionAccuracy(), 1.0);
     const CpiStack stack = cpiStack(c);
     EXPECT_DOUBLE_EQ(stack.total(), 0.0);
+}
+
+TEST(Counters, StackDivideByZeroYieldsNan)
+{
+    // Averaging an empty workload set must not fabricate a 0-CPI
+    // stack; every component goes NaN instead.
+    CpiStack empty;
+    empty /= 0.0;
+    EXPECT_TRUE(std::isnan(empty.retired));
+    EXPECT_TRUE(std::isnan(empty.quashed));
+    EXPECT_TRUE(std::isnan(empty.predicateHazard));
+    EXPECT_TRUE(std::isnan(empty.dataHazard));
+    EXPECT_TRUE(std::isnan(empty.forbidden));
+    EXPECT_TRUE(std::isnan(empty.noTrigger));
+    EXPECT_TRUE(std::isnan(empty.total()));
+}
+
+TEST(Counters, FormatCpiRendersNonFiniteAsDash)
+{
+    EXPECT_EQ(formatCpi(2.0), "2.000");
+    EXPECT_EQ(formatCpi(1.2345, 2), "1.23");
+    EXPECT_EQ(formatCpi(std::numeric_limits<double>::quiet_NaN()), "-");
+    EXPECT_EQ(formatCpi(std::numeric_limits<double>::infinity()), "-");
+    PerfCounters c;
+    c.cycles = 10;
+    EXPECT_EQ(formatCpi(c.cpi()), "-");
 }
 
 TEST(Counters, StackNormalizesByRetired)

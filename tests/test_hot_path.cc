@@ -508,6 +508,82 @@ TEST(IdlePeSleep, FaultInjectionDisablesSleepAndStaysIdentical)
     EXPECT_GT(with.counters.at(workload.workerPe).faultsInjected, 0u);
 }
 
+/**
+ * The counter-integrity contract (uarch/counters.hh): every PE cycle
+ * lands in exactly one attribution bucket, except the cycles claimed
+ * by instructions still in flight. Must hold on EVERY exit path —
+ * including budget and quiescence exits where parked PEs have
+ * unsettled sleep debt at the moment the run stops.
+ */
+void
+expectBucketIntegrity(CycleFabric &fabric, const char *where)
+{
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+        const PerfCounters &c = fabric.pe(pe).counters();
+        const std::uint64_t buckets = c.retired + c.quashed +
+                                      c.predicateHazard + c.dataHazard +
+                                      c.forbidden + c.noTrigger;
+        EXPECT_EQ(buckets + fabric.pe(pe).inFlight(), c.cycles)
+            << where << " PE " << pe;
+        // An unhalted PE's clock runs to the end of the fabric's.
+        if (!fabric.pe(pe).halted()) {
+            EXPECT_EQ(c.cycles, fabric.now()) << where << " PE " << pe;
+        }
+    }
+}
+
+TEST(IdlePeSleep, CountersSettleOnEveryExitPath)
+{
+    // A sparse fabric — one gcd worker plus 15 programless PEs that
+    // park immediately — driven to each of the run() exit reasons.
+    const Workload workload = makeGcd(WorkloadSizes::small());
+    FabricConfig config = workload.config;
+    const unsigned total_pes = config.numPes + 15;
+    config.inputChannel.resize(
+        total_pes,
+        std::vector<int>(config.params.numInputQueues, kUnbound));
+    config.outputChannel.resize(
+        total_pes,
+        std::vector<int>(config.params.numOutputQueues, kUnbound));
+    config.initialRegs.resize(total_pes);
+    config.initialPreds.resize(total_pes, 0);
+    config.numPes = total_pes;
+    const PeConfig uarch{allShapes()[7], true, true, true};
+
+    {
+        // Cycle-budget exit: the watchdog window never elapses, so the
+        // run stops mid-flight with every idle PE still parked.
+        CycleFabric fabric(config, workload.program, uarch);
+        workload.preload(fabric.memory());
+        ASSERT_EQ(fabric.run({50, 10'000}), RunStatus::StepLimit);
+        expectBucketIntegrity(fabric, "step-limit");
+    }
+    {
+        // Larger budget, same exit, after the worker made progress.
+        CycleFabric fabric(config, workload.program, uarch);
+        workload.preload(fabric.memory());
+        ASSERT_EQ(fabric.run({200, 10'000}), RunStatus::StepLimit);
+        expectBucketIntegrity(fabric, "step-limit-200");
+    }
+    {
+        // Quiescence/watchdog exit: the worker halts, the idle PEs
+        // starve, and the quiescence window trips.
+        CycleFabric fabric(config, workload.program, uarch);
+        workload.preload(fabric.memory());
+        ASSERT_EQ(fabric.run({kDefaultMaxCycles, 100}),
+                  RunStatus::Quiescent);
+        EXPECT_TRUE(fabric.pe(workload.workerPe).halted());
+        expectBucketIntegrity(fabric, "quiescent");
+    }
+    {
+        // Halted exit on the unpadded fabric.
+        CycleFabric fabric(workload.config, workload.program, uarch);
+        workload.preload(fabric.memory());
+        ASSERT_EQ(fabric.run(), RunStatus::Halted);
+        expectBucketIntegrity(fabric, "halted");
+    }
+}
+
 TEST(IdlePeSleep, MutatingAccessorWakesParkedPe)
 {
     // A parked PE whose predicates are changed externally must be

@@ -34,6 +34,19 @@
  *                      "seed=7;drop:ch0@p0.01;mispredict:pe0@p0.1"
  *   --watchdog         print the full hang diagnosis (wait-for chain,
  *                      blocked agents) when a run does not halt
+ *   --trace FILE       write a Chrome trace_event JSON trace (load in
+ *                      chrome://tracing or Perfetto); single cycle-
+ *                      accurate -u only
+ *   --trace-level L    trace granularity: "events" (default; issue,
+ *                      retire, quash, predictor, park/wake) or
+ *                      "cycles" (adds per-stage occupancy tracks and
+ *                      per-cycle channel depths)
+ *   --trace-binary FILE  write the compact binary ring trace instead
+ *                      of (or besides) the JSON one; keeps the last
+ *                      1M records (see obs/binary_ring.hh)
+ *   --metrics FILE     write a tia-metrics/v1 JSON document with one
+ *                      run entry per swept microarchitecture
+ *                      (validate with tia-metrics-check)
  *   --stats            print host-side simulation statistics: wall
  *                      time, simulated cycles per host second, and how
  *                      many PE steps the idle-sleep optimization
@@ -60,9 +73,13 @@
 #include "core/assembler.hh"
 #include "core/logging.hh"
 #include "exec/sweep.hh"
+#include "obs/binary_ring.hh"
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
 #include "sim/fault.hh"
 #include "sim/functional.hh"
 #include "uarch/cycle_fabric.hh"
+#include "uarch/fabric_metrics.hh"
 
 namespace {
 
@@ -157,6 +174,10 @@ struct Options
     std::string injectPlan;
     bool watchdog = false;
     bool stats = false;
+    std::string tracePath;       ///< Chrome trace_event JSON output.
+    std::string traceBinaryPath; ///< Binary ring trace output.
+    TraceLevel traceLevel = TraceLevel::Events;
+    std::string metricsPath;     ///< tia-metrics/v1 JSON output.
 };
 
 /** Map a run status to the tool's documented exit code. */
@@ -181,9 +202,10 @@ exitCode(RunStatus status)
 void
 printCounters(std::string &out, const char *label, const PerfCounters &c)
 {
-    appendf(out, "%s: cycles %llu, retired %llu, CPI %.3f\n", label,
+    appendf(out, "%s: cycles %llu, retired %llu, CPI %s\n", label,
             static_cast<unsigned long long>(c.cycles),
-            static_cast<unsigned long long>(c.retired), c.cpi());
+            static_cast<unsigned long long>(c.retired),
+            formatCpi(c.cpi()).c_str());
     appendf(out,
             "  quashed %llu, predicate-hazard %llu, data-hazard "
             "%llu, forbidden %llu, no-trigger %llu\n",
@@ -265,11 +287,18 @@ run(const Options &opt)
             }
         }
     };
+    const bool tracing =
+        !opt.tracePath.empty() || !opt.traceBinaryPath.empty();
     if (opt.uarch == "functional") {
         fatalIf(!opt.injectPlan.empty(),
                 "--inject requires a cycle-accurate -u microarchitecture");
         fatalIf(opt.stats,
                 "--stats requires a cycle-accurate -u microarchitecture");
+        fatalIf(tracing, "--trace requires a cycle-accurate -u "
+                         "microarchitecture");
+        fatalIf(!opt.metricsPath.empty(),
+                "--metrics requires a cycle-accurate -u "
+                "microarchitecture");
         FunctionalFabric fabric(config, program);
         preload(fabric.memory());
         const RunStatus status = fabric.run(opt.maxCycles);
@@ -303,9 +332,17 @@ run(const Options &opt)
         uarchs.push_back(*uarch);
     }
 
+    fatalIf(tracing && uarchs.size() > 1,
+            "--trace wants a single -u microarchitecture (traces from a "
+            "sweep would interleave)");
+
     std::optional<FaultPlan> plan;
     if (!opt.injectPlan.empty())
         plan.emplace(FaultPlan::parse(opt.injectPlan));
+
+    // Per-run metrics entries, written by index — safe under a
+    // parallel sweep, assembled in list order afterwards.
+    std::vector<JsonValue> metricsRuns(uarchs.size());
 
     // One task per microarchitecture; each owns its fabric and
     // injector, so the sweep result does not depend on --jobs.
@@ -318,6 +355,34 @@ run(const Options &opt)
         CycleFabric fabric(config, program, uarch,
                            injector ? &*injector : nullptr);
         preload(fabric.memory());
+
+        // Trace sinks live on this task's stack — --trace is rejected
+        // for multi-uarch sweeps, so at most one task builds them.
+        std::optional<ChromeTraceSink> chrome;
+        std::optional<BinaryRingSink> ring;
+        TeeSink tee;
+        if (!opt.tracePath.empty()) {
+            chrome.emplace();
+            for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+                chrome->setPeMetadata(pe, "PE " + std::to_string(pe),
+                                      uarch.shape.segmentNames());
+            }
+            tee.add(&*chrome);
+        }
+        if (!opt.traceBinaryPath.empty()) {
+            ring.emplace(1u << 20);
+            tee.add(&*ring);
+        }
+        TraceSink *sink = nullptr;
+        if (chrome && ring)
+            sink = &tee;
+        else if (chrome)
+            sink = &*chrome;
+        else if (ring)
+            sink = &*ring;
+        if (sink != nullptr)
+            fabric.setTraceSink(sink, opt.traceLevel);
+
         const auto host_start = std::chrono::steady_clock::now();
         const RunStatus status =
             fabric.run({opt.maxCycles, opt.quiescenceWindow});
@@ -369,6 +434,40 @@ run(const Options &opt)
                               static_cast<double>(total)
                         : 0.0);
         }
+        if (chrome) {
+            fatalIf(!chrome->writeTo(opt.tracePath), "cannot write ",
+                    opt.tracePath);
+            appendf(text, "trace: %s\n", opt.tracePath.c_str());
+        }
+        if (ring) {
+            fatalIf(!ring->writeTo(opt.traceBinaryPath), "cannot write ",
+                    opt.traceBinaryPath);
+            appendf(text,
+                    "binary trace: %s (%llu records stored, %llu "
+                    "dropped)\n",
+                    opt.traceBinaryPath.c_str(),
+                    static_cast<unsigned long long>(ring->size()),
+                    static_cast<unsigned long long>(ring->dropped()));
+        }
+        if (!opt.metricsPath.empty()) {
+            JsonValue entry = fabricRunMetrics(fabric, uarch, status);
+            if (injector) {
+                JsonValue faults = JsonValue::object();
+                faults["plan"] = injector->plan().toString();
+                faults["total_fired"] = injector->stats().totalFired();
+                JsonValue lines = JsonValue::array();
+                for (const auto &line : injector->stats().lines) {
+                    JsonValue item = JsonValue::object();
+                    item["name"] = line.name;
+                    item["fired"] = line.fired;
+                    item["declined"] = line.declined;
+                    lines.push(std::move(item));
+                }
+                faults["lines"] = std::move(lines);
+                entry["faults"] = std::move(faults);
+            }
+            metricsRuns[index] = std::move(entry);
+        }
         dump(text, fabric.memory());
         return std::make_pair(exitCode(status), std::move(text));
     };
@@ -387,6 +486,15 @@ run(const Options &opt)
         std::printf("\nswept %zu microarchitectures on %u worker "
                     "thread(s) in %.1f ms\n",
                     uarchs.size(), sweep.jobs, sweep.wallMs);
+    }
+    if (!opt.metricsPath.empty()) {
+        MetricsRegistry registry("tia-sim");
+        registry.root()["program"] = opt.program;
+        for (auto &entry : metricsRuns)
+            registry.addRun(std::move(entry));
+        fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
+                opt.metricsPath);
+        std::printf("metrics: %s\n", opt.metricsPath.c_str());
     }
     return worst;
 }
@@ -446,6 +554,23 @@ main(int argc, char **argv)
                 opt.watchdog = true;
             } else if (arg == "--stats") {
                 opt.stats = true;
+            } else if (arg == "--trace") {
+                opt.tracePath = next();
+            } else if (arg == "--trace-binary") {
+                opt.traceBinaryPath = next();
+            } else if (arg == "--trace-level") {
+                const std::string level = next();
+                if (level == "events") {
+                    opt.traceLevel = TraceLevel::Events;
+                } else if (level == "cycles") {
+                    opt.traceLevel = TraceLevel::Cycles;
+                } else {
+                    tia::fatalIf(true, "--trace-level wants \"events\" "
+                                       "or \"cycles\", got \"",
+                                 level, "\"");
+                }
+            } else if (arg == "--metrics") {
+                opt.metricsPath = next();
             } else if (!arg.empty() && arg[0] != '-' &&
                        opt.program.empty()) {
                 opt.program = arg;

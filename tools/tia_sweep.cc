@@ -21,18 +21,23 @@
  *                paper's bst-only methodology
  *   --no-dse     emit only the CPI matrix
  *   --out FILE   write the JSON to FILE instead of stdout
+ *   --metrics FILE  also write a tia-metrics/v1 document with one run
+ *                entry per matrix cell (validate with
+ *                tia-metrics-check; see docs/observability.md)
  *
  * The JSON schema is documented in docs/sweep_engine.md
  * ("tia-sweep/v1").
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "sim/functional.hh"
 #include "vlsi/dse.hh"
 #include "workloads/cpi.hh"
@@ -50,6 +55,7 @@ struct Options
     bool dse = true;
     std::string configs = "all";
     std::string outPath;
+    std::string metricsPath;
 };
 
 std::vector<PeConfig>
@@ -91,6 +97,12 @@ jsonString(std::string &out, const std::string &value)
 void
 jsonNumber(std::string &out, double value)
 {
+    // JSON has no NaN/Infinity literal; a PE that retired nothing has
+    // CPI NaN (uarch/counters.hh) and serializes as null.
+    if (!std::isfinite(value)) {
+        out += "null";
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.9g", value);
     out += buf;
@@ -240,6 +252,19 @@ run(const Options &opt)
     }
     json += "\n}\n";
 
+    if (!opt.metricsPath.empty()) {
+        MetricsRegistry registry("tia-sweep");
+        registry.root()["sizes"] = opt.small ? "small" : "full";
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            for (std::size_t w = 0; w < suite.size(); ++w) {
+                registry.addRun(workloadRunMetrics(
+                    matrix.run(c, w), configs[c], suite[w].name));
+            }
+        }
+        fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
+                opt.metricsPath);
+    }
+
     if (opt.outPath.empty()) {
         std::fputs(json.c_str(), stdout);
     } else {
@@ -281,6 +306,8 @@ main(int argc, char **argv)
                 opt.configs = next();
             } else if (arg == "--out") {
                 opt.outPath = next();
+            } else if (arg == "--metrics") {
+                opt.metricsPath = next();
             } else {
                 std::fprintf(stderr, "unknown option %s\n", arg.c_str());
                 return 2;
