@@ -30,9 +30,12 @@ main()
     const auto configs = figure5Configs();
 
     // The whole uarch x workload product runs on the sweep engine;
-    // the matrix is bit-identical for any jobs count.
+    // the matrix is bit-identical for any jobs count (and for any
+    // TIA_BENCH_CACHE state).
+    bench::BenchCache cache;
     const CycleMatrix matrix =
-        runCycleMatrix(suite, configs, {}, bench::benchJobs());
+        runCycleMatrix(suite, configs, cache.options(),
+                       bench::benchJobs());
     std::printf("%zu runs on %u worker thread(s) in %.1f ms\n\n",
                 matrix.runs.size(), matrix.jobs, matrix.wallMs);
 

@@ -28,8 +28,10 @@ main()
     std::printf("Measuring suite-average CPI on all 32 "
                 "microarchitectures...\n");
     const unsigned jobs = bench::benchJobs();
+    bench::BenchCache cache;
     const DesignSpace dse(
-        suiteAverageCpiTable(sizes, allConfigs(), jobs));
+        suiteAverageCpiTable(sizes, allConfigs(), jobs,
+                             cache.options()));
     const auto points = dse.enumerateParallel(jobs);
 
     double min_e = 1e30, max_e = 0.0, min_d = 1e30, max_d = 0.0;

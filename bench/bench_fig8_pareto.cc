@@ -32,8 +32,10 @@ main()
     const WorkloadSizes sizes = bench::benchSizes();
     const unsigned jobs = bench::benchJobs();
     std::printf("Measuring suite-average CPI...\n\n");
+    bench::BenchCache cache;
     const DesignSpace dse(
-        suiteAverageCpiTable(sizes, allConfigs(), jobs));
+        suiteAverageCpiTable(sizes, allConfigs(), jobs,
+                             cache.options()));
     const auto frontier =
         DesignSpace::paretoFrontier(dse.enumerateParallel(jobs));
 

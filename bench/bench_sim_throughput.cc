@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "cache/simcache.hh"
 #include "core/assembler.hh"
 #include "core/encoding.hh"
 #include "exec/thread_pool.hh"
@@ -211,6 +212,46 @@ BM_Fig5MatrixSweep(benchmark::State &state)
 BENCHMARK(BM_Fig5MatrixSweep)
     ->Arg(1)
     ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The Figure 5 matrix through the simcache. Arg 0 = cold: a fresh
+// cache every iteration, so the delta against BM_Fig5MatrixSweep is
+// the key-hashing + result-serialization overhead (the <=2% bound in
+// docs/perf.md). Arg 1 = warm: the cache is pre-populated once, so
+// every cell is a hit and the measurement is pure memoized-sweep time
+// (the >=5x warm speedup recorded in docs/perf.md).
+void
+BM_Fig5MatrixSweepCached(benchmark::State &state)
+{
+    const auto suite = allWorkloads(WorkloadSizes::small());
+    const auto configs = figure5Configs();
+    const bool warm = state.range(0) != 0;
+    SimCache warm_cache;
+    CycleRunOptions options;
+    if (warm) {
+        options.cache = &warm_cache;
+        runCycleMatrix(suite, configs, options, 0);
+    }
+    for (auto _ : state) {
+        std::optional<SimCache> cold_cache;
+        if (!warm) {
+            cold_cache.emplace();
+            options.cache = &*cold_cache;
+        }
+        const CycleMatrix matrix =
+            runCycleMatrix(suite, configs, options, 0);
+        benchmark::DoNotOptimize(matrix.runs.data());
+        state.counters["runs"] = static_cast<double>(matrix.runs.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(suite.size()) *
+                            static_cast<std::int64_t>(configs.size()));
+    state.SetLabel(warm ? "warm cache" : "cold cache");
+}
+BENCHMARK(BM_Fig5MatrixSweepCached)
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

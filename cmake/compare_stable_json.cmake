@@ -1,0 +1,19 @@
+# Assert two JSON documents are byte-identical after dropping host
+# timing ("wall_ms") lines — the only field allowed to differ between
+# a cold and a warm cached tia-sweep run (docs/simcache.md).
+#
+#   cmake -DFILE_A=cold.json -DFILE_B=warm.json \
+#         -P compare_stable_json.cmake
+foreach(var FILE_A FILE_B)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=<path>")
+    endif()
+endforeach()
+file(READ "${FILE_A}" a)
+file(READ "${FILE_B}" b)
+string(REGEX REPLACE "[^\n]*wall_ms[^\n]*\n" "" a "${a}")
+string(REGEX REPLACE "[^\n]*wall_ms[^\n]*\n" "" b "${b}")
+if(NOT a STREQUAL b)
+    message(FATAL_ERROR
+        "${FILE_A} and ${FILE_B} differ beyond wall_ms lines")
+endif()

@@ -1,0 +1,258 @@
+#include "cache/simcache.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cache/serialize.hh"
+#include "core/logging.hh"
+
+namespace tia {
+
+namespace {
+
+/** File magic: format name + on-disk layout revision. */
+constexpr char kMagic[8] = {'T', 'I', 'A', 'S', 'I', 'M', 'C', '1'};
+
+/** Revision of the container layout itself (header + entry framing). */
+constexpr std::uint32_t kFileVersion = 1;
+
+} // namespace
+
+std::string
+SimCache::getOrCompute(const Digest128 &key,
+                       const std::function<std::string()> &compute)
+{
+    std::unique_lock lock(mutex_);
+    ++stats_.lookups;
+
+    if (auto it = entries_.find(key); it != entries_.end()) {
+        ++stats_.hits;
+        std::string payload = it->second;
+        if (verifyHits_) {
+            // Recompute without the lock — verification costs a full
+            // simulation and must not serialize other cache users.
+            lock.unlock();
+            const std::string fresh = compute();
+            fatalIf(fresh != payload, "cache verify failed for key ",
+                    key.hex(), ": cached payload (", payload.size(),
+                    " bytes) differs from a fresh computation (",
+                    fresh.size(),
+                    " bytes); the key schema is missing an input or the "
+                    "cache file is stale");
+            lock.lock();
+            ++stats_.verifiedHits;
+        }
+        return payload;
+    }
+
+    if (auto it = pending_.find(key); it != pending_.end()) {
+        // Single-flight: another caller is already computing this key.
+        ++stats_.coalesced;
+        std::shared_ptr<InFlight> flight = it->second;
+        done_.wait(lock, [&flight] { return flight->done; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        return flight->payload;
+    }
+
+    // Leader path. The miss is counted here, at leadership claim, so
+    // the hits + misses + coalesced == lookups identity survives a
+    // throwing computation.
+    ++stats_.misses;
+    auto flight = std::make_shared<InFlight>();
+    pending_.emplace(key, flight);
+    lock.unlock();
+
+    std::string payload;
+    try {
+        payload = compute();
+    } catch (...) {
+        lock.lock();
+        flight->error = std::current_exception();
+        flight->done = true;
+        pending_.erase(key);
+        done_.notify_all();
+        throw;
+    }
+
+    lock.lock();
+    entries_[key] = payload;
+    flight->payload = payload;
+    flight->done = true;
+    pending_.erase(key);
+    done_.notify_all();
+    return payload;
+}
+
+std::optional<std::string>
+SimCache::peek(const Digest128 &key) const
+{
+    std::lock_guard lock(mutex_);
+    if (auto it = entries_.find(key); it != entries_.end())
+        return it->second;
+    return std::nullopt;
+}
+
+void
+SimCache::put(const Digest128 &key, std::string payload)
+{
+    std::lock_guard lock(mutex_);
+    entries_[key] = std::move(payload);
+}
+
+void
+SimCache::erase(const Digest128 &key)
+{
+    std::lock_guard lock(mutex_);
+    entries_.erase(key);
+}
+
+std::size_t
+SimCache::size() const
+{
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+}
+
+bool
+SimCache::load(const std::string &path, std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return true; // no file yet: an empty warm tier, not an error
+
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string bytes = contents.str();
+
+    ByteReader reader(bytes);
+    char magic[sizeof(kMagic)];
+    for (char &c : magic)
+        c = static_cast<char>(reader.u8());
+    if (!reader.ok() || !std::equal(magic, magic + sizeof(kMagic), kMagic))
+        return fail("not a TIASIMC1 cache file: " + path);
+    const std::uint32_t fileVersion = reader.u32();
+    if (!reader.ok() || fileVersion != kFileVersion)
+        return fail("cache file format version " +
+                    std::to_string(fileVersion) + " != " +
+                    std::to_string(kFileVersion) + "; ignoring " + path);
+    const std::uint32_t schema = reader.u32();
+    if (!reader.ok() || schema != kCacheSchemaVersion)
+        return fail("cache key schema version " + std::to_string(schema) +
+                    " != " + std::to_string(kCacheSchemaVersion) +
+                    "; ignoring " + path);
+    const std::uint64_t count = reader.u64();
+    if (!reader.ok())
+        return fail("truncated cache header: " + path);
+
+    // Adopt entries until the first sign of corruption; a truncated
+    // tail costs recomputes for the dropped suffix only.
+    std::uint64_t adopted = 0;
+    std::lock_guard lock(mutex_);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Digest128 key{reader.u64(), reader.u64()};
+        std::string payload = reader.str();
+        const Digest128 checksum{reader.u64(), reader.u64()};
+        if (!reader.ok() || digest128(payload) != checksum)
+            break;
+        entries_[key] = std::move(payload);
+        ++adopted;
+    }
+    stats_.loaded += adopted;
+    if (adopted < count && error)
+        *error = "cache file corrupt after entry " +
+                 std::to_string(adopted) + " of " + std::to_string(count) +
+                 "; kept the valid prefix: " + path;
+    return true;
+}
+
+bool
+SimCache::save(const std::string &path, std::string *error) const
+{
+    const auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    ByteWriter out;
+    {
+        std::lock_guard lock(mutex_);
+        out.bytes(kMagic, sizeof(kMagic));
+        out.u32(kFileVersion);
+        out.u32(kCacheSchemaVersion);
+        out.u64(entries_.size());
+        for (const auto &[key, payload] : entries_) {
+            out.u64(key.hi);
+            out.u64(key.lo);
+            out.str(payload);
+            const Digest128 checksum = digest128(payload);
+            out.u64(checksum.hi);
+            out.u64(checksum.lo);
+        }
+    }
+
+    // Write-then-rename: a reader either sees the old complete file or
+    // the new complete file, and a crash mid-write leaves the previous
+    // cache intact.
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+        if (!file.is_open())
+            return fail("cannot open " + tmp + " for writing");
+        file.write(out.data().data(),
+                   static_cast<std::streamsize>(out.data().size()));
+        if (!file.good())
+            return fail("short write to " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return fail("cannot rename " + tmp + " to " + path);
+    }
+    return true;
+}
+
+SimCache::Stats
+SimCache::stats() const
+{
+    std::lock_guard lock(mutex_);
+    return stats_;
+}
+
+JsonValue
+SimCache::statsJson() const
+{
+    const Stats s = stats();
+    JsonValue block = JsonValue::object();
+    block["lookups"] = JsonValue(s.lookups);
+    block["hits"] = JsonValue(s.hits);
+    block["misses"] = JsonValue(s.misses);
+    block["coalesced"] = JsonValue(s.coalesced);
+    block["verified_hits"] = JsonValue(s.verifiedHits);
+    return block;
+}
+
+std::string
+SimCache::statsSummary() const
+{
+    const Stats s = stats();
+    std::ostringstream os;
+    os << "cache: " << s.lookups << " lookups, " << s.hits << " hits, "
+       << s.misses << " misses, " << s.coalesced << " coalesced";
+    if (s.verifiedHits > 0)
+        os << ", " << s.verifiedHits << " verified";
+    if (s.loaded > 0)
+        os << " (" << s.loaded << " loaded from disk)";
+    return os.str();
+}
+
+} // namespace tia

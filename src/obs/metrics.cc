@@ -240,6 +240,37 @@ checkRun(Checker &check, const JsonValue &run, const std::string &where)
     }
 }
 
+// The optional root "cache" block (SimCache::statsJson). Lookups are
+// exhaustively partitioned: every lookup is exactly one of a hit, a
+// miss (the leader computing), or a coalesced wait on a leader; and a
+// verified hit is still a hit.
+void
+checkCacheStats(Checker &check, const JsonValue &cache)
+{
+    const std::string where = "cache";
+    if (!cache.isObject()) {
+        check.fail(where, "must be an object");
+        return;
+    }
+    double lookups = 0, hits = 0, misses = 0, coalesced = 0;
+    double verified = 0;
+    bool ok = check.number(cache, where, "lookups", lookups);
+    ok &= check.number(cache, where, "hits", hits);
+    ok &= check.number(cache, where, "misses", misses);
+    ok &= check.number(cache, where, "coalesced", coalesced);
+    ok &= check.number(cache, where, "verified_hits", verified);
+    if (!ok)
+        return;
+    if (hits + misses + coalesced != lookups) {
+        check.fail(where, "hits + misses + coalesced (" +
+                              std::to_string(hits + misses + coalesced) +
+                              ") != lookups (" + std::to_string(lookups) +
+                              ")");
+    }
+    if (verified > hits)
+        check.fail(where, "verified_hits exceeds hits");
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -269,6 +300,8 @@ validateMetricsDocument(const JsonValue &doc)
             }
         }
     }
+    if (const JsonValue *cache = doc.find("cache"))
+        checkCacheStats(check, *cache);
     return check.problems;
 }
 

@@ -62,8 +62,9 @@ gridFor(VtClass vt, double vdd, const TechModel &tech)
     // Base grid: 100 MHz to 1.5 GHz at 100 MHz granularity.
     for (double f = 100.0; f <= 1500.0; f += 100.0)
         grid.push_back(f);
-    // Near-threshold refinement: 50 MHz granularity up through
-    // 500 MHz.
+    // Near-threshold refinement: the midpoints 150/250/350/450 MHz,
+    // which together with the base grid's 100..500 MHz points give
+    // 50 MHz granularity below 500 MHz.
     const bool near_threshold = vdd <= tech.thresholdV(vt) + 0.35;
     if (near_threshold) {
         for (double f = 150.0; f <= 450.0; f += 100.0)

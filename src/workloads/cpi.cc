@@ -7,10 +7,11 @@ namespace tia {
 
 CpiTable
 measureCpiTable(const WorkloadSizes &sizes,
-                const std::vector<PeConfig> &configs, unsigned jobs)
+                const std::vector<PeConfig> &configs, unsigned jobs,
+                const CycleRunOptions &options)
 {
     const std::vector<Workload> bst = {makeBst(sizes)};
-    const CycleMatrix matrix = runCycleMatrix(bst, configs, {}, jobs);
+    const CycleMatrix matrix = runCycleMatrix(bst, configs, options, jobs);
     CpiTable table;
     for (std::size_t c = 0; c < configs.size(); ++c) {
         const WorkloadRun &run = matrix.run(c, 0);
@@ -23,10 +24,11 @@ measureCpiTable(const WorkloadSizes &sizes,
 
 CpiTable
 suiteAverageCpiTable(const WorkloadSizes &sizes,
-                     const std::vector<PeConfig> &configs, unsigned jobs)
+                     const std::vector<PeConfig> &configs, unsigned jobs,
+                     const CycleRunOptions &options)
 {
     const auto suite = allWorkloads(sizes);
-    const CycleMatrix matrix = runCycleMatrix(suite, configs, {}, jobs);
+    const CycleMatrix matrix = runCycleMatrix(suite, configs, options, jobs);
     CpiTable table;
     for (std::size_t c = 0; c < configs.size(); ++c) {
         double sum = 0.0;

@@ -2,11 +2,21 @@
 
 #include <optional>
 
+#include "cache/run_cache.hh"
+#include "cache/simcache.hh"
 #include "exec/sweep.hh"
 #include "obs/metrics.hh"
 #include "uarch/cycle_fabric.hh"
 
 namespace tia {
+
+namespace {
+
+/** The always-simulate core of runCycle; cached dispatch wraps this. */
+WorkloadRun runCycleUncached(const Workload &workload, const PeConfig &uarch,
+                             const CycleRunOptions &options);
+
+} // namespace
 
 const char *
 faultOutcomeName(FaultOutcome outcome)
@@ -61,6 +71,35 @@ runCycle(const Workload &workload, const PeConfig &uarch, Cycle max_cycles)
 WorkloadRun
 runCycle(const Workload &workload, const PeConfig &uarch,
          const CycleRunOptions &options)
+{
+    // Tracing is a side effect a cached result cannot replay, so a
+    // run with a sink installed always simulates.
+    if (options.cache == nullptr || options.trace != nullptr)
+        return runCycleUncached(workload, uarch, options);
+
+    const Digest128 key = workloadRunKey(workload, uarch, options);
+    const std::string payload =
+        options.cache->getOrCompute(key, [&workload, &uarch, &options] {
+            return encodeWorkloadRun(
+                runCycleUncached(workload, uarch, options));
+        });
+    if (std::optional<WorkloadRun> run = decodeWorkloadRun(payload))
+        return *run;
+
+    // A persisted payload that fails to decode (written by a newer
+    // build within the same schema version, or damaged in a way the
+    // checksum missed) degrades to a miss: recompute and overwrite.
+    options.cache->erase(key);
+    WorkloadRun fresh = runCycleUncached(workload, uarch, options);
+    options.cache->put(key, encodeWorkloadRun(fresh));
+    return fresh;
+}
+
+namespace {
+
+WorkloadRun
+runCycleUncached(const Workload &workload, const PeConfig &uarch,
+                 const CycleRunOptions &options)
 {
     std::optional<FaultInjector> injector;
     if (options.faults != nullptr && !options.faults->empty())
@@ -138,6 +177,8 @@ runCycle(const Workload &workload, const PeConfig &uarch,
     }
     return run;
 }
+
+} // namespace
 
 JsonValue
 workloadRunMetrics(const WorkloadRun &run, const PeConfig &uarch,

@@ -26,6 +26,8 @@
 
 namespace tia {
 
+class SimCache; // cache/simcache.hh
+
 /** How an injected run fared against the golden model. */
 enum class FaultOutcome
 {
@@ -69,6 +71,14 @@ struct CycleRunOptions
      * exists so tests and tools can cross-check the two).
      */
     bool referenceScheduler = false;
+    /**
+     * Content-addressed result cache (non-owning; nullptr = off). When
+     * set, runCycle memoizes its WorkloadRun under a digest of every
+     * input (cache/run_cache.hh) with single-flight dedup across
+     * concurrent sweep jobs. Ignored when @ref trace is set — tracing
+     * is a side effect a cached result cannot replay.
+     */
+    SimCache *cache = nullptr;
 };
 
 /** Result of one workload execution. */
@@ -100,6 +110,9 @@ struct WorkloadRun
 
     bool ok() const { return status == RunStatus::Halted &&
                              checkError.empty(); }
+
+    /** Field-wise equality (cache round-trip and verify tests). */
+    bool operator==(const WorkloadRun &) const = default;
 };
 
 /** Run on the functional (golden) simulator. */

@@ -8,8 +8,11 @@
  * the tia-metrics/v1 schema and counter-integrity invariants
  * (obs/metrics.hh): per-PE attribution buckets + in-flight == cycles,
  * CPI null exactly when nothing retired and otherwise equal to
- * cycles/retired, and sleep-step accounting consistent with the
- * per-PE cycle totals. --json-only reduces the tool to a strict JSON
+ * cycles/retired, sleep-step accounting consistent with the
+ * per-PE cycle totals, and — when the optional root "cache" block is
+ * present (simcache stats; docs/simcache.md) — hits + misses +
+ * coalesced == lookups with verified_hits <= hits.
+ * --json-only reduces the tool to a strict JSON
  * well-formedness check — handy for Chrome trace files, which share
  * no schema with the metrics documents.
  *

@@ -24,6 +24,14 @@
  *   --metrics FILE  also write a tia-metrics/v1 document with one run
  *                entry per matrix cell (validate with
  *                tia-metrics-check; see docs/observability.md)
+ *   --cache FILE    content-addressed result cache (docs/simcache.md):
+ *                load the warm tier from FILE if present, memoize
+ *                every matrix cell, save back atomically. Hit/miss/
+ *                coalesced stats go to stderr and the --metrics
+ *                document, never the --out JSON, so warm and cold
+ *                runs emit identical documents (modulo wall_ms).
+ *   --cache-verify  with --cache: re-simulate every hit and fail
+ *                unless the cached result is bit-identical
  *
  * The JSON schema is documented in docs/sweep_engine.md
  * ("tia-sweep/v1").
@@ -32,9 +40,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "cache/simcache.hh"
 #include "core/logging.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
@@ -56,6 +66,8 @@ struct Options
     std::string configs = "all";
     std::string outPath;
     std::string metricsPath;
+    std::string cachePath;
+    bool cacheVerify = false;
 };
 
 std::vector<PeConfig>
@@ -118,7 +130,32 @@ run(const Options &opt)
     const unsigned jobs =
         opt.jobs == 0 ? ThreadPool::defaultConcurrency() : opt.jobs;
 
-    const CycleMatrix matrix = runCycleMatrix(suite, configs, {}, jobs);
+    fatalIf(opt.cacheVerify && opt.cachePath.empty(),
+            "--cache-verify needs --cache (there is nothing to verify "
+            "without a warm tier)");
+    std::optional<SimCache> cache;
+    CycleRunOptions run_options;
+    if (!opt.cachePath.empty()) {
+        cache.emplace();
+        cache->setVerifyHits(opt.cacheVerify);
+        std::string load_error;
+        if (!cache->load(opt.cachePath, &load_error) ||
+            !load_error.empty()) {
+            // Degraded warm tier (corrupt / version-mismatched file):
+            // report it and proceed cache-cold.
+            std::fprintf(stderr, "tia-sweep: %s\n", load_error.c_str());
+        }
+        run_options.cache = &*cache;
+    }
+
+    const CycleMatrix matrix =
+        runCycleMatrix(suite, configs, run_options, jobs);
+
+    if (cache) {
+        std::string save_error;
+        fatalIf(!cache->save(opt.cachePath, &save_error),
+                "cannot save cache: ", save_error);
+    }
 
     bool all_ok = true;
     std::string json;
@@ -255,6 +292,8 @@ run(const Options &opt)
     if (!opt.metricsPath.empty()) {
         MetricsRegistry registry("tia-sweep");
         registry.root()["sizes"] = opt.small ? "small" : "full";
+        if (cache)
+            registry.root()["cache"] = cache->statsJson();
         for (std::size_t c = 0; c < configs.size(); ++c) {
             for (std::size_t w = 0; w < suite.size(); ++w) {
                 registry.addRun(workloadRunMetrics(
@@ -278,6 +317,9 @@ run(const Options &opt)
                  "thread(s), CPI matrix %.1f ms\n",
                  configs.size(), suite.size(), matrix.jobs,
                  matrix.wallMs);
+    if (cache)
+        std::fprintf(stderr, "tia-sweep: %s\n",
+                     cache->statsSummary().c_str());
     return all_ok ? 0 : 1;
 }
 
@@ -308,6 +350,10 @@ main(int argc, char **argv)
                 opt.outPath = next();
             } else if (arg == "--metrics") {
                 opt.metricsPath = next();
+            } else if (arg == "--cache") {
+                opt.cachePath = next();
+            } else if (arg == "--cache-verify") {
+                opt.cacheVerify = true;
             } else {
                 std::fprintf(stderr, "unknown option %s\n", arg.c_str());
                 return 2;

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * tia-trunc: truncate a file to a given byte length.
+ *
+ *   tia-trunc FILE BYTES
+ *
+ * Test helper for the cache-corruption ctest fixtures
+ * (tools/CMakeLists.txt): chopping a TIASIMC1 warm tier mid-entry must
+ * degrade to a miss, never a crash, and the next --cache run rewrites
+ * the file. cmake -E has no truncate, hence this 20-line tool.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::fprintf(stderr, "usage: tia-trunc FILE BYTES\n");
+        return 2;
+    }
+    const std::uint64_t size = std::strtoull(argv[2], nullptr, 10);
+    std::error_code ec;
+    std::filesystem::resize_file(argv[1], size, ec);
+    if (ec) {
+        std::fprintf(stderr, "tia-trunc: %s: %s\n", argv[1],
+                     ec.message().c_str());
+        return 1;
+    }
+    return 0;
+}
