@@ -1,10 +1,17 @@
 #include "cache/simcache.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "cache/serialize.hh"
 #include "core/logging.hh"
@@ -18,6 +25,96 @@ constexpr char kMagic[8] = {'T', 'I', 'A', 'S', 'I', 'M', 'C', '1'};
 
 /** Revision of the container layout itself (header + entry framing). */
 constexpr std::uint32_t kFileVersion = 1;
+
+/** Directory part of @p path ("." when the path has no slash). */
+std::string
+dirnameOf(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    if (slash == 0)
+        return "/";
+    return path.substr(0, slash);
+}
+
+/**
+ * Advisory writer lock for a TIASIMC1 path, so two processes sharing
+ * a cache directory (the tia-serve daemon and a CLI run) cannot
+ * interleave partial saves through the shared "<path>.tmp" name. The
+ * lock file sits next to the cache and is never deleted — deleting it
+ * would race a peer that already holds the descriptor. Readers don't
+ * need it: std::rename is atomic, so load() always sees a complete
+ * old or complete new file.
+ */
+class SaveLock
+{
+  public:
+    explicit SaveLock(const std::string &path)
+        : fd_(::open((path + ".lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                     0644))
+    {
+        if (fd_ >= 0) {
+            int rc;
+            do {
+                rc = ::flock(fd_, LOCK_EX);
+            } while (rc != 0 && errno == EINTR);
+            locked_ = rc == 0;
+        }
+    }
+
+    ~SaveLock()
+    {
+        if (fd_ >= 0) {
+            if (locked_)
+                ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    SaveLock(const SaveLock &) = delete;
+    SaveLock &operator=(const SaveLock &) = delete;
+
+    /** Lock acquisition is best-effort: an unlockable filesystem
+     * (no permissions, exotic mount) degrades to the pre-lock
+     * behavior instead of failing the save. */
+    bool held() const { return locked_; }
+
+  private:
+    int fd_ = -1;
+    bool locked_ = false;
+};
+
+/** write(2) the whole buffer, retrying on EINTR / short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t size)
+{
+    std::size_t written = 0;
+    while (written < size) {
+        const ssize_t n = ::write(fd, data + written, size - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** fsync(2) a directory so a completed rename survives a crash. */
+void
+syncDirectory(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd >= 0) {
+        // Best-effort: some filesystems refuse directory fsync; the
+        // rename itself is still atomic, only its durability after a
+        // whole-machine crash would be at stake.
+        (void)::fsync(fd);
+        ::close(fd);
+    }
+}
 
 } // namespace
 
@@ -201,23 +298,44 @@ SimCache::save(const std::string &path, std::string *error) const
         }
     }
 
-    // Write-then-rename: a reader either sees the old complete file or
-    // the new complete file, and a crash mid-write leaves the previous
-    // cache intact.
+    // Write-then-fsync-then-rename: a reader either sees the old
+    // complete file or the new complete file; a crash (even kill -9 or
+    // power loss) mid-save leaves the previous cache intact because
+    // the data hits the disk before the rename makes it visible, and
+    // the directory fsync afterwards makes the rename itself durable.
+    // The advisory lock serializes concurrent savers sharing the
+    // "<path>.tmp" scratch name (daemon + CLI on one cache directory).
+    const SaveLock lock(path);
     const std::string tmp = path + ".tmp";
     {
-        std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-        if (!file.is_open())
-            return fail("cannot open " + tmp + " for writing");
-        file.write(out.data().data(),
-                   static_cast<std::streamsize>(out.data().size()));
-        if (!file.good())
-            return fail("short write to " + tmp);
+        const int fd = ::open(tmp.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                              0644);
+        if (fd < 0)
+            return fail("cannot open " + tmp + " for writing: " +
+                        std::strerror(errno));
+        if (!writeAll(fd, out.data().data(), out.data().size())) {
+            const std::string why = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return fail("short write to " + tmp + ": " + why);
+        }
+        if (::fsync(fd) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return fail("cannot fsync " + tmp + ": " + why);
+        }
+        if (::close(fd) != 0)
+            return fail("cannot close " + tmp + ": " +
+                        std::strerror(errno));
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const std::string why = std::strerror(errno);
         std::remove(tmp.c_str());
-        return fail("cannot rename " + tmp + " to " + path);
+        return fail("cannot rename " + tmp + " to " + path + ": " + why);
     }
+    syncDirectory(dirnameOf(path));
     return true;
 }
 

@@ -15,6 +15,13 @@
  * Exceptions thrown by a task are captured and rethrown from map() —
  * the one with the lowest index, matching what the serial loop would
  * have thrown first.
+ *
+ * Sweeps are cancellable cooperatively, not by aborting tasks: batch
+ * entry points thread a StopToken (exec/stop_token.hh) through
+ * CycleRunOptions into each task's cycle loop, so a fired token makes
+ * the remaining tasks return RunStatus::Cancelled quickly and map()
+ * still completes with every slot filled. That is how tia-serve bounds
+ * a `sweep` request by its deadline without leaking pool workers.
  */
 
 #ifndef TIA_EXEC_SWEEP_HH

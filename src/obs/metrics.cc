@@ -271,6 +271,98 @@ checkCacheStats(Checker &check, const JsonValue &cache)
         check.fail(where, "verified_hits exceeds hits");
 }
 
+// The optional root "server" block (Server::serverStatsJson). The
+// accounting identities are the service's no-silent-drop contract in
+// arithmetic form: every received request is admitted, shed or
+// rejected; every admitted request is in exactly one terminal (or
+// still-live) bucket.
+void
+checkServerStats(Checker &check, const JsonValue &server)
+{
+    const std::string where = "server";
+    if (!server.isObject()) {
+        check.fail(where, "must be an object");
+        return;
+    }
+    double received = 0, admitted = 0, rejected = 0, shed = 0;
+    double shedQueueFull = 0, shedQuota = 0, shedDraining = 0;
+    double completed = 0, cancelled = 0, cancelledDeadline = 0;
+    double cancelledDisconnect = 0, failed = 0, hangs = 0;
+    double active = 0, queueDepth = 0, queueCapacity = 0;
+    double queueHighWater = 0, connections = 0, connectionsTotal = 0;
+    bool ok = check.number(server, where, "received", received);
+    ok &= check.number(server, where, "admitted", admitted);
+    ok &= check.number(server, where, "rejected", rejected);
+    ok &= check.number(server, where, "shed", shed);
+    ok &= check.number(server, where, "shed_queue_full", shedQueueFull);
+    ok &= check.number(server, where, "shed_quota", shedQuota);
+    ok &= check.number(server, where, "shed_draining", shedDraining);
+    ok &= check.number(server, where, "completed", completed);
+    ok &= check.number(server, where, "cancelled", cancelled);
+    ok &= check.number(server, where, "cancelled_deadline",
+                       cancelledDeadline);
+    ok &= check.number(server, where, "cancelled_disconnect",
+                       cancelledDisconnect);
+    ok &= check.number(server, where, "failed", failed);
+    ok &= check.number(server, where, "hangs", hangs);
+    ok &= check.number(server, where, "active", active);
+    ok &= check.number(server, where, "queue_depth", queueDepth);
+    ok &= check.number(server, where, "queue_capacity", queueCapacity);
+    ok &= check.number(server, where, "queue_high_water", queueHighWater);
+    ok &= check.number(server, where, "connections", connections);
+    ok &= check.number(server, where, "connections_total",
+                       connectionsTotal);
+    if (ok) {
+        if (admitted + shed + rejected != received) {
+            check.fail(where,
+                       "admitted + shed + rejected (" +
+                           std::to_string(admitted + shed + rejected) +
+                           ") != received (" + std::to_string(received) +
+                           ")");
+        }
+        if (shedQueueFull + shedQuota + shedDraining != shed)
+            check.fail(where, "shed buckets do not sum to shed");
+        if (completed + cancelled + failed + active + queueDepth !=
+            admitted) {
+            check.fail(where,
+                       "completed + cancelled + failed + active + "
+                       "queue_depth (" +
+                           std::to_string(completed + cancelled + failed +
+                                          active + queueDepth) +
+                           ") != admitted (" + std::to_string(admitted) +
+                           ")");
+        }
+        if (cancelledDeadline + cancelledDisconnect != cancelled)
+            check.fail(where, "cancelled buckets do not sum to cancelled");
+        if (hangs > completed)
+            check.fail(where, "hangs exceeds completed");
+        if (queueDepth > queueCapacity)
+            check.fail(where, "queue_depth exceeds queue_capacity");
+        if (queueHighWater > queueCapacity)
+            check.fail(where, "queue_high_water exceeds queue_capacity");
+        if (connections > connectionsTotal)
+            check.fail(where, "connections exceeds connections_total");
+    }
+    const JsonValue *latency = check.require(server, where, "latency_ms");
+    if (latency != nullptr && latency->isObject()) {
+        const std::string lwhere = where + ".latency_ms";
+        double count = 0, p50 = 0, p99 = 0, maxMs = 0;
+        bool lok = check.number(*latency, lwhere, "count", count);
+        lok &= check.number(*latency, lwhere, "p50", p50);
+        lok &= check.number(*latency, lwhere, "p99", p99);
+        lok &= check.number(*latency, lwhere, "max", maxMs);
+        if (lok) {
+            if (ok && count > completed)
+                check.fail(lwhere, "count exceeds completed");
+            if (count > 0 && (p50 > p99 || p99 > maxMs))
+                check.fail(lwhere, "percentiles not ordered "
+                                   "(p50 <= p99 <= max)");
+        }
+    } else if (latency != nullptr) {
+        check.fail(where, "\"latency_ms\" must be an object");
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
@@ -292,7 +384,10 @@ validateMetricsDocument(const JsonValue &doc)
         if (!runs->isArray()) {
             check.fail("document", "\"runs\" must be an array");
         } else if (runs->items().empty()) {
-            check.fail("document", "\"runs\" is empty");
+            // Service documents (tia-serve) legitimately carry zero
+            // runs: their payload is the "server" block.
+            if (doc.find("server") == nullptr)
+                check.fail("document", "\"runs\" is empty");
         } else {
             for (std::size_t i = 0; i < runs->items().size(); ++i) {
                 checkRun(check, runs->items()[i],
@@ -302,6 +397,8 @@ validateMetricsDocument(const JsonValue &doc)
     }
     if (const JsonValue *cache = doc.find("cache"))
         checkCacheStats(check, *cache);
+    if (const JsonValue *server = doc.find("server"))
+        checkServerStats(check, *server);
     return check.problems;
 }
 

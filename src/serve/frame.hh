@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Length-prefixed frame codec for the tia-serve wire protocol.
+ *
+ * A frame is a 4-byte little-endian payload length followed by that
+ * many bytes of UTF-8 JSON (docs/serve.md). Length-prefixing keeps the
+ * stream self-synchronizing: a malformed JSON payload poisons one
+ * frame, never the connection.
+ *
+ * The reader is written for a hostile network: it enforces a maximum
+ * frame size (an absurd length prefix is rejected before any
+ * allocation), distinguishes "no frame started" from "truncated
+ * mid-frame", and applies two timeouts — a patient one while waiting
+ * for the first byte (an idle keep-alive connection is fine) and an
+ * impatient one for completing a frame once started (a slow-loris
+ * client trickling one byte a second gets cut off instead of pinning
+ * a connection thread forever).
+ */
+
+#ifndef TIA_SERVE_FRAME_HH
+#define TIA_SERVE_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tia {
+
+/** How a readFrame attempt ended. */
+enum class FrameStatus
+{
+    Ok,        ///< A complete frame was read.
+    Eof,       ///< Clean close at a frame boundary (no bytes read).
+    Idle,      ///< First-byte timeout elapsed at a frame boundary.
+    Timeout,   ///< Frame started but stalled (slow-loris cutoff).
+    TooLarge,  ///< Length prefix exceeds the frame-size limit.
+    Truncated, ///< Connection closed mid-frame.
+    Error,     ///< Socket error (payload in @ref FrameResult::error).
+};
+
+/** Human-readable name for a FrameStatus. */
+const char *frameStatusName(FrameStatus status);
+
+struct FrameResult
+{
+    FrameStatus status = FrameStatus::Error;
+    std::string payload; ///< Valid when status == Ok.
+    std::string error;   ///< Errno text when status == Error.
+};
+
+/**
+ * Read one frame from @p fd.
+ *
+ * @param maxBytes        reject frames longer than this (TooLarge).
+ * @param firstByteMs     poll budget for the frame's first byte; -1
+ *                        waits forever, 0 returns Idle immediately
+ *                        when no byte is pending.
+ * @param progressMs      budget for each subsequent chunk once the
+ *                        frame has started; an expiry is a Timeout.
+ */
+FrameResult readFrame(int fd, std::size_t maxBytes, int firstByteMs,
+                      int progressMs);
+
+/**
+ * Write one frame (length prefix + payload) to @p fd, retrying short
+ * writes. Uses MSG_NOSIGNAL so a peer that vanished yields false (with
+ * @p error set) rather than SIGPIPE.
+ */
+bool writeFrame(int fd, std::string_view payload,
+                std::string *error = nullptr);
+
+} // namespace tia
+
+#endif // TIA_SERVE_FRAME_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Token-bucket rate limiter for per-client admission quotas.
+ *
+ * The classic continuous-refill bucket: capacity `burst` tokens,
+ * refilled at `rate` tokens/second; each admitted request spends one
+ * token. A client that bursts past its quota gets a `retry_after`
+ * rejection whose hint is exactly the time until the bucket holds a
+ * whole token again — so a well-behaved client that honors the hint
+ * converges on its sustained rate without ever being shed twice in a
+ * row.
+ *
+ * Deliberately clock-agnostic: callers pass `now`, which keeps the
+ * admission path on one steady_clock read and makes the unit tests
+ * time-travel instead of sleep.
+ */
+
+#ifndef TIA_SERVE_TOKEN_BUCKET_HH
+#define TIA_SERVE_TOKEN_BUCKET_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+namespace tia {
+
+class TokenBucket
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * @param ratePerSec sustained tokens per second; <= 0 disables the
+     *                   limiter (tryAcquire always succeeds).
+     * @param burst      bucket capacity; clamped to at least 1 token.
+     */
+    TokenBucket(double ratePerSec, double burst,
+                Clock::time_point now = Clock::now())
+        : rate_(ratePerSec), burst_(std::max(burst, 1.0)),
+          tokens_(burst_), refilled_(now)
+    {
+    }
+
+    /**
+     * Spend one token if available. On refusal returns false and sets
+     * @p retryAfterMs to the delay after which a retry will succeed
+     * (assuming no competing spenders).
+     */
+    bool
+    tryAcquire(Clock::time_point now, std::uint64_t *retryAfterMs)
+    {
+        if (rate_ <= 0.0)
+            return true;
+        refill(now);
+        if (tokens_ >= 1.0) {
+            tokens_ -= 1.0;
+            return true;
+        }
+        if (retryAfterMs != nullptr) {
+            const double deficit = 1.0 - tokens_;
+            const double ms = deficit / rate_ * 1000.0;
+            *retryAfterMs =
+                static_cast<std::uint64_t>(ms) + 1; // round up
+        }
+        return false;
+    }
+
+    double
+    tokens(Clock::time_point now)
+    {
+        refill(now);
+        return tokens_;
+    }
+
+  private:
+    void
+    refill(Clock::time_point now)
+    {
+        if (now <= refilled_)
+            return;
+        const double elapsed =
+            std::chrono::duration<double>(now - refilled_).count();
+        tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+        refilled_ = now;
+    }
+
+    double rate_;
+    double burst_;
+    double tokens_;
+    Clock::time_point refilled_;
+};
+
+} // namespace tia
+
+#endif // TIA_SERVE_TOKEN_BUCKET_HH

@@ -86,6 +86,7 @@ enum class RunStatus
     StepLimit,   ///< The step budget was exhausted.
     Deadlock,    ///< Quiescent with a cycle in the wait-for graph.
     Livelock,    ///< Active to the step limit without observable progress.
+    Cancelled,   ///< Stopped early by a cooperative stop token (exec/stop_token.hh).
 };
 
 /** Human-readable name for a RunStatus. */
@@ -103,6 +104,8 @@ runStatusName(RunStatus status)
         return "deadlock";
       case RunStatus::Livelock:
         return "livelock";
+      case RunStatus::Cancelled:
+        return "cancelled";
     }
     return "?";
 }

@@ -292,8 +292,23 @@ CycleFabric::run(const FabricRunOptions &options)
     std::uint64_t last_events = events_.progressEvents();
     Cycle last_activity = now_;
     Cycle last_progress = now_;
+    // First poll happens immediately: a job cancelled while queued
+    // returns before simulating a single cycle.
+    Cycle next_stop_check = now_;
 
     while (now_ < options.maxCycles) {
+        if (options.stop.possible() && now_ >= next_stop_check) {
+            if (const char *why = options.stop.why()) {
+                flushSleepDebt();
+                report_ = HangReport{};
+                report_.classification = RunStatus::Cancelled;
+                report_.summary = std::string("cancelled (") + why +
+                                  ") after " + std::to_string(now_) +
+                                  " cycle(s)";
+                return RunStatus::Cancelled;
+            }
+            next_stop_check = now_ + options.stopCheckInterval;
+        }
         if (haltedPes_ == pes_.size()) {
             report_ = HangReport{};
             report_.classification = RunStatus::Halted;

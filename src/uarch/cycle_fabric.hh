@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/program.hh"
+#include "exec/stop_token.hh"
 #include "obs/trace.hh"
 #include "sim/fabric_config.hh"
 #include "sim/fault.hh"
@@ -63,6 +64,16 @@ struct FabricRunOptions
      * observable progress before a run is classified as livelock.
      */
     Cycle quiescenceWindow = kDefaultQuiescenceWindow;
+    /**
+     * Cooperative cancellation (exec/stop_token.hh). Polled every
+     * @ref stopCheckInterval cycles; when it fires, run() returns
+     * RunStatus::Cancelled promptly with a hang report naming the
+     * reason, instead of running out the cycle budget. A detached
+     * token (the default) costs nothing on the hot path.
+     */
+    StopToken stop;
+    /** Cycles between stop-token polls (a poll reads the clock). */
+    Cycle stopCheckInterval = 4096;
 };
 
 /** Host-side execution statistics (see tools/tia_sim --stats). */
@@ -108,7 +119,10 @@ class CycleFabric
     run(Cycle max_cycles = kDefaultMaxCycles,
         Cycle quiescence_window = kDefaultQuiescenceWindow)
     {
-        return run(FabricRunOptions{max_cycles, quiescence_window});
+        FabricRunOptions options;
+        options.maxCycles = max_cycles;
+        options.quiescenceWindow = quiescence_window;
+        return run(options);
     }
 
     /** Diagnosis of how the last run() ended. */

@@ -16,6 +16,17 @@ namespace {
 WorkloadRun runCycleUncached(const Workload &workload, const PeConfig &uarch,
                              const CycleRunOptions &options);
 
+/**
+ * Internal signal used by the cached dispatch path: a computation cut
+ * short by a stop token must not be cached, so the compute closure
+ * throws the cancelled run out of SimCache::getOrCompute (which caches
+ * nothing on a throwing computation) and runCycle catches it.
+ */
+struct CancelledRun
+{
+    WorkloadRun run;
+};
+
 } // namespace
 
 const char *
@@ -78,11 +89,27 @@ runCycle(const Workload &workload, const PeConfig &uarch,
         return runCycleUncached(workload, uarch, options);
 
     const Digest128 key = workloadRunKey(workload, uarch, options);
-    const std::string payload =
-        options.cache->getOrCompute(key, [&workload, &uarch, &options] {
-            return encodeWorkloadRun(
-                runCycleUncached(workload, uarch, options));
-        });
+    std::string payload;
+    for (;;) {
+        try {
+            payload = options.cache->getOrCompute(
+                key, [&workload, &uarch, &options] {
+                    WorkloadRun fresh =
+                        runCycleUncached(workload, uarch, options);
+                    if (fresh.status == RunStatus::Cancelled)
+                        throw CancelledRun{std::move(fresh)};
+                    return encodeWorkloadRun(fresh);
+                });
+            break;
+        } catch (const CancelledRun &cancelled) {
+            // Our own cancellation (we were the leader, or our token
+            // fired while we waited) is a final answer. A waiter
+            // coalesced onto someone else's cancelled leader still has
+            // budget: retry, becoming the new leader.
+            if (options.stop.stopRequested())
+                return cancelled.run;
+        }
+    }
     if (std::optional<WorkloadRun> run = decodeWorkloadRun(payload))
         return *run;
 
@@ -115,7 +142,9 @@ runCycleUncached(const Workload &workload, const PeConfig &uarch,
         fabric.setUseReferenceScheduler(true);
 
     const FabricRunOptions fabric_options{options.maxCycles,
-                                          options.quiescenceWindow};
+                                          options.quiescenceWindow,
+                                          options.stop,
+                                          options.stopCheckInterval};
     bool trapped = false;
     if (injector) {
         // Corrupted tokens can escalate to architectural traps

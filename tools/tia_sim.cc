@@ -249,6 +249,8 @@ exitCode(RunStatus status)
         return 5;
       case RunStatus::StepLimit:
         return 6;
+      case RunStatus::Cancelled:
+        return 7;
     }
     return 1;
 }
@@ -485,8 +487,10 @@ run(const Options &opt)
             fabric.setTraceSink(sink, opt.traceLevel);
 
         const auto host_start = std::chrono::steady_clock::now();
-        const RunStatus status =
-            fabric.run({opt.maxCycles, opt.quiescenceWindow});
+        FabricRunOptions runOptions;
+        runOptions.maxCycles = opt.maxCycles;
+        runOptions.quiescenceWindow = opt.quiescenceWindow;
+        const RunStatus status = fabric.run(runOptions);
         const double host_seconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - host_start)
