@@ -29,13 +29,28 @@ main()
     const auto suite = allWorkloads(sizes);
     const auto configs = figure5Configs();
 
-    // The whole uarch x workload product runs on the sweep engine;
-    // the matrix is bit-identical for any jobs count (and for any
-    // TIA_BENCH_CACHE state).
+    // The whole uarch x workload product runs on the streaming sweep
+    // pipeline; the per-config CPI stacks accumulate in the in-order
+    // sink while later cells simulate. The matrix is bit-identical
+    // for any jobs count (and for any TIA_BENCH_CACHE state).
     bench::BenchCache cache;
-    const CycleMatrix matrix =
-        runCycleMatrix(suite, configs, cache.options(),
-                       bench::benchJobs());
+    std::vector<CpiStack> stacks(configs.size());
+    bool failed = false;
+    const CycleMatrix matrix = runCycleMatrixStreamed(
+        suite, configs, cache.options(), bench::benchJobs(),
+        [&](std::size_t c, std::size_t w, const WorkloadRun &run) {
+            if (!run.ok()) {
+                std::printf("%s FAILED on %s: %s\n",
+                            suite[w].name.c_str(),
+                            configs[c].name().c_str(),
+                            run.checkError.c_str());
+                failed = true;
+                return;
+            }
+            stacks[c] += cpiStack(run.worker);
+        });
+    if (failed)
+        return 1;
     std::printf("%zu runs on %u worker thread(s) in %.1f ms\n\n",
                 matrix.runs.size(), matrix.jobs, matrix.wallMs);
 
@@ -47,17 +62,7 @@ main()
     double opt_depth4 = 0.0;
     for (std::size_t c = 0; c < configs.size(); ++c) {
         const PeConfig &config = configs[c];
-        CpiStack avg;
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            const WorkloadRun &run = matrix.run(c, w);
-            if (!run.ok()) {
-                std::printf("%s FAILED on %s: %s\n",
-                            suite[w].name.c_str(), config.name().c_str(),
-                            run.checkError.c_str());
-                return 1;
-            }
-            avg += cpiStack(run.worker);
-        }
+        CpiStack avg = stacks[c];
         avg /= static_cast<double>(suite.size());
         std::printf("%-18s %-6s %-8.3f %-8.3f %-9.3f %-8.3f %-9.3f "
                     "%-9.3f\n",

@@ -276,6 +276,56 @@ BENCHMARK(BM_DseEnumerate)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The Figure 5 matrix on the streaming pipeline vs the flat barrier
+// (both at hardware concurrency). Arg 0 = pipeline, Arg 1 = flat; the
+// delta is the pipeline's win from overlapping the in-order sink with
+// simulation (plus the cost of its windowed hand-off).
+void
+BM_Fig5MatrixPipelined(benchmark::State &state)
+{
+    const auto suite = allWorkloads(WorkloadSizes::small());
+    const auto configs = figure5Configs();
+    const bool flat = state.range(0) != 0;
+    for (auto _ : state) {
+        const CycleMatrix matrix =
+            flat ? runCycleMatrixFlat(suite, configs, {}, 0)
+                 : runCycleMatrixStreamed(suite, configs, {}, 0,
+                                          CycleMatrixSink{});
+        benchmark::DoNotOptimize(matrix.runs.data());
+        state.counters["runs"] = static_cast<double>(matrix.runs.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(suite.size()) *
+                            static_cast<std::int64_t>(configs.size()));
+    state.SetLabel(flat ? "flat barrier" : "pipeline");
+}
+BENCHMARK(BM_Fig5MatrixPipelined)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The full 32-config DSE on the streaming pipeline with the
+// incremental Pareto frontier maintained in the sink, vs
+// BM_DseEnumerate Arg(0) (flat barrier + batch frontier afterwards).
+void
+BM_DseStreamed(benchmark::State &state)
+{
+    CpiTable table;
+    for (const PeConfig &config : allConfigs())
+        table[config.name()] = 1.5;
+    const DesignSpace dse(std::move(table));
+    for (auto _ : state) {
+        const DseStreamResult stream = dse.enumerateStreamed(0);
+        benchmark::DoNotOptimize(stream.frontier.data());
+        state.counters["points"] =
+            static_cast<double>(stream.points.size());
+        state.counters["frontier"] =
+            static_cast<double>(stream.frontier.size());
+    }
+}
+BENCHMARK(BM_DseStreamed)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 } // namespace
 
 BENCHMARK_MAIN();

@@ -1,9 +1,13 @@
 # Assert two JSON documents are byte-identical after dropping host
 # timing ("wall_ms") lines — the only field allowed to differ between
-# a cold and a warm cached tia-sweep run (docs/simcache.md).
+# a cold and a warm cached tia-sweep run (docs/simcache.md). Pass
+# -DIGNORE_KEYS=jobs (semicolon list) to also drop other run-metadata
+# lines, e.g. when comparing sweeps at different --jobs counts
+# (docs/sweep_engine.md: results must be jobs-invariant, the recorded
+# worker count obviously is not).
 #
 #   cmake -DFILE_A=cold.json -DFILE_B=warm.json \
-#         -P compare_stable_json.cmake
+#         [-DIGNORE_KEYS=jobs] -P compare_stable_json.cmake
 foreach(var FILE_A FILE_B)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "missing -D${var}=<path>")
@@ -11,9 +15,15 @@ foreach(var FILE_A FILE_B)
 endforeach()
 file(READ "${FILE_A}" a)
 file(READ "${FILE_B}" b)
-string(REGEX REPLACE "[^\n]*wall_ms[^\n]*\n" "" a "${a}")
-string(REGEX REPLACE "[^\n]*wall_ms[^\n]*\n" "" b "${b}")
+set(drop wall_ms)
+if(DEFINED IGNORE_KEYS)
+    list(APPEND drop ${IGNORE_KEYS})
+endif()
+foreach(key IN LISTS drop)
+    string(REGEX REPLACE "[^\n]*\"${key}\"[^\n]*\n" "" a "${a}")
+    string(REGEX REPLACE "[^\n]*\"${key}\"[^\n]*\n" "" b "${b}")
+endforeach()
 if(NOT a STREQUAL b)
     message(FATAL_ERROR
-        "${FILE_A} and ${FILE_B} differ beyond wall_ms lines")
+        "${FILE_A} and ${FILE_B} differ beyond ${drop} lines")
 endif()

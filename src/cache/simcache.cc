@@ -177,6 +177,7 @@ SimCache::getOrCompute(const Digest128 &key,
 
     lock.lock();
     entries_[key] = payload;
+    ++generation_;
     flight->payload = payload;
     flight->done = true;
     pending_.erase(key);
@@ -198,13 +199,15 @@ SimCache::put(const Digest128 &key, std::string payload)
 {
     std::lock_guard lock(mutex_);
     entries_[key] = std::move(payload);
+    ++generation_;
 }
 
 void
 SimCache::erase(const Digest128 &key)
 {
     std::lock_guard lock(mutex_);
-    entries_.erase(key);
+    if (entries_.erase(key) > 0)
+        ++generation_;
 }
 
 std::size_t
@@ -255,6 +258,7 @@ SimCache::load(const std::string &path, std::string *error)
     // tail costs recomputes for the dropped suffix only.
     std::uint64_t adopted = 0;
     std::lock_guard lock(mutex_);
+    const bool wasEmpty = entries_.empty();
     for (std::uint64_t i = 0; i < count; ++i) {
         Digest128 key{reader.u64(), reader.u64()};
         std::string payload = reader.str();
@@ -265,6 +269,15 @@ SimCache::load(const std::string &path, std::string *error)
         ++adopted;
     }
     stats_.loaded += adopted;
+    if (adopted > 0)
+        ++generation_;
+    if (wasEmpty && adopted == count) {
+        // Clean adoption of the whole file into an empty cache: the
+        // resident entries are exactly the file's contents, so an
+        // unmodified cache can dirty-skip its save back to this path.
+        savedGeneration_ = generation_;
+        savedPath_ = path;
+    }
     if (adopted < count && error)
         *error = "cache file corrupt after entry " +
                  std::to_string(adopted) + " of " + std::to_string(count) +
@@ -273,7 +286,7 @@ SimCache::load(const std::string &path, std::string *error)
 }
 
 bool
-SimCache::save(const std::string &path, std::string *error) const
+SimCache::save(const std::string &path, std::string *error)
 {
     const auto fail = [error](const std::string &why) {
         if (error)
@@ -282,8 +295,12 @@ SimCache::save(const std::string &path, std::string *error) const
     };
 
     ByteWriter out;
+    std::uint64_t snapshot = 0;
     {
         std::lock_guard lock(mutex_);
+        if (generation_ == savedGeneration_ && path == savedPath_)
+            return true; // file already holds exactly these entries
+        snapshot = generation_;
         out.bytes(kMagic, sizeof(kMagic));
         out.u32(kFileVersion);
         out.u32(kCacheSchemaVersion);
@@ -336,6 +353,16 @@ SimCache::save(const std::string &path, std::string *error) const
         return fail("cannot rename " + tmp + " to " + path + ": " + why);
     }
     syncDirectory(dirnameOf(path));
+    {
+        std::lock_guard lock(mutex_);
+        // Mark clean only if nothing mutated while the file was being
+        // written; a concurrent insert keeps the cache dirty so the
+        // next save still runs.
+        if (generation_ == snapshot) {
+            savedGeneration_ = snapshot;
+            savedPath_ = path;
+        }
+    }
     return true;
 }
 

@@ -132,8 +132,16 @@ class SimCache
      * into place, so readers never observe a half-written cache and a
      * crash mid-save leaves the previous file intact. Entries are
      * written in key order, so equal contents produce identical files.
+     *
+     * Saves are dirty-skipped: when the resident entries are known to
+     * already match the file at @p path — a clean load() into an empty
+     * cache, or a previous save() to the same path, with no mutation
+     * since — save() returns true without touching the filesystem.
+     * A fully warm sweep therefore skips the end-of-run cache rewrite
+     * entirely (the file is byte-identical either way, asserted by the
+     * warm-vs-cold ctest fixtures).
      */
-    bool save(const std::string &path, std::string *error = nullptr) const;
+    bool save(const std::string &path, std::string *error = nullptr);
 
     Stats stats() const;
 
@@ -159,6 +167,11 @@ class SimCache
     std::map<Digest128, std::shared_ptr<InFlight>> pending_;
     Stats stats_;
     bool verifyHits_ = false;
+    /** Mutation generation; bumped on every entry change (dirty-skip). */
+    std::uint64_t generation_ = 0;
+    /** Generation the file at savedPath_ is known to hold. */
+    std::uint64_t savedGeneration_ = ~std::uint64_t{0};
+    std::string savedPath_;
 };
 
 } // namespace tia

@@ -52,14 +52,28 @@ class StopToken
     const char *
     why() const
     {
-        if (state_ == nullptr)
-            return nullptr;
-        if (state_->stop.load(std::memory_order_relaxed))
-            return "stop requested";
-        if (state_->hasDeadline &&
-            std::chrono::steady_clock::now() >= state_->deadline)
-            return "deadline expired";
-        return nullptr;
+        return state_ == nullptr ? nullptr : whyOf(*state_);
+    }
+
+    /**
+     * A token that fires as soon as either input fires. The sweep
+     * pipeline uses this to merge a caller's deadline token with its
+     * internal fail-fast source, so one sibling's exception cancels
+     * the rest without disturbing the caller's own cancellation. When
+     * one input is detached the other is returned as-is (no overhead);
+     * merging two detached tokens yields a detached token.
+     */
+    static StopToken
+    anyOf(StopToken a, StopToken b)
+    {
+        if (!a.possible())
+            return b;
+        if (!b.possible())
+            return a;
+        auto state = std::make_shared<State>();
+        state->parentA = a.state_;
+        state->parentB = b.state_;
+        return StopToken(std::move(state));
     }
 
   private:
@@ -70,7 +84,29 @@ class StopToken
         std::atomic<bool> stop{false};
         bool hasDeadline = false;
         std::chrono::steady_clock::time_point deadline{};
+        /** anyOf links (set once, before sharing; never mutated). */
+        std::shared_ptr<const State> parentA;
+        std::shared_ptr<const State> parentB;
     };
+
+    static const char *
+    whyOf(const State &state)
+    {
+        if (state.stop.load(std::memory_order_relaxed))
+            return "stop requested";
+        if (state.hasDeadline &&
+            std::chrono::steady_clock::now() >= state.deadline)
+            return "deadline expired";
+        if (state.parentA != nullptr) {
+            if (const char *why = whyOf(*state.parentA))
+                return why;
+        }
+        if (state.parentB != nullptr) {
+            if (const char *why = whyOf(*state.parentB))
+                return why;
+        }
+        return nullptr;
+    }
 
     explicit StopToken(std::shared_ptr<const State> state)
         : state_(std::move(state))

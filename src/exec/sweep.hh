@@ -10,11 +10,27 @@
  * own CycleFabric, FaultInjector and counters per task. With jobs == 1
  * the engine degenerates to the plain serial loop on the calling
  * thread (no pool, no synchronization), which the determinism tests
- * use as the reference.
+ * use as the reference. map() is the flat reference implementation;
+ * exec/pipeline.hh layers the streaming generate → simulate → sink
+ * pipeline on the same pool and task conventions.
  *
- * Exceptions thrown by a task are captured and rethrown from map() —
- * the one with the lowest index, matching what the serial loop would
- * have thrown first.
+ * Tasks may take a second StopToken parameter — fn(i, cancel) — to
+ * opt into engine-driven cancellation: the engine hands every task a
+ * token from its internal fail-fast StopSource, and fires it the
+ * moment any sibling throws. A cancellation-aware simulation task
+ * merges that token with the caller's own (StopToken::anyOf) and
+ * returns RunStatus::Cancelled within a few thousand simulated
+ * cycles, so one failing cell no longer costs a full matrix of wasted
+ * work. Tasks without the token parameter are simply skipped once a
+ * sibling has failed (their slots stay empty, which is fine — map()
+ * rethrows before results are assembled).
+ *
+ * Exceptions thrown by tasks are captured and the lowest-index one is
+ * rethrown from map(), matching what the serial loop would have
+ * thrown first among the tasks that actually ran. (Fail-fast adds one
+ * caveat: a lower-index task that would *eventually* have thrown can
+ * instead observe the cancel token and return a Cancelled value, in
+ * which case the first sibling that did throw is reported.)
  *
  * Sweeps are cancellable cooperatively, not by aborting tasks: batch
  * entry points thread a StopToken (exec/stop_token.hh) through
@@ -27,16 +43,40 @@
 #ifndef TIA_EXEC_SWEEP_HH
 #define TIA_EXEC_SWEEP_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <exception>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "exec/stop_token.hh"
 #include "exec/thread_pool.hh"
 
 namespace tia {
+
+namespace detail {
+
+/** Invoke a sweep task, passing the cancel token when fn accepts it. */
+template <typename Fn>
+auto
+invokeSweepTask(Fn &fn, std::size_t i, const StopToken &cancel)
+{
+    if constexpr (std::is_invocable_v<Fn &, std::size_t, StopToken>)
+        return fn(i, cancel);
+    else
+        return fn(i);
+}
+
+/** Result type of a sweep task (with or without the token parameter). */
+template <typename Fn>
+using SweepTaskResult =
+    decltype(invokeSweepTask(std::declval<Fn &>(), std::size_t{},
+                             std::declval<const StopToken &>()));
+
+} // namespace detail
 
 /** A completed sweep: values in submission order plus run metadata. */
 template <typename T>
@@ -61,14 +101,16 @@ class SweepEngine
     /**
      * Evaluate @p fn over [0, count) and return the results in index
      * order. @p fn must be safe to call concurrently from multiple
-     * threads for distinct indices.
+     * threads for distinct indices; it may optionally accept a second
+     * StopToken parameter (see the file comment) for fail-fast
+     * cancellation when a sibling task throws.
      */
     template <typename Fn>
     auto
     map(std::size_t count, Fn &&fn) const
-        -> SweepResult<decltype(fn(std::size_t{}))>
+        -> SweepResult<detail::SweepTaskResult<Fn>>
     {
-        using T = decltype(fn(std::size_t{}));
+        using T = detail::SweepTaskResult<Fn>;
         const auto start = std::chrono::steady_clock::now();
 
         SweepResult<T> result;
@@ -76,23 +118,46 @@ class SweepEngine
                                           count == 0 ? 1 : count)
                                     : jobs_;
         std::vector<std::optional<T>> slots(count);
-        std::vector<std::exception_ptr> errors(count);
 
         if (result.jobs <= 1) {
+            // Serial reference loop: the first exception propagates
+            // immediately, exactly like the loop it replaces.
             for (std::size_t i = 0; i < count; ++i)
-                slots[i].emplace(fn(i));
+                slots[i].emplace(
+                    detail::invokeSweepTask(fn, i, StopToken{}));
         } else {
-            ThreadPool pool(result.jobs);
-            for (std::size_t i = 0; i < count; ++i) {
-                pool.submit([&, i] {
-                    try {
-                        slots[i].emplace(fn(i));
-                    } catch (...) {
-                        errors[i] = std::current_exception();
-                    }
-                });
+            std::vector<std::exception_ptr> errors(count);
+            StopSource failFast;
+            const StopToken cancel = failFast.token();
+            std::atomic<bool> failed{false};
+            {
+                ThreadPool pool(result.jobs);
+                for (std::size_t i = 0; i < count; ++i) {
+                    pool.submit([&, i] {
+                        try {
+                            if constexpr (std::is_invocable_v<
+                                              Fn &, std::size_t,
+                                              StopToken>) {
+                                // Cancellation-aware task: run it even
+                                // after a failure — the fired token
+                                // makes it return Cancelled quickly.
+                                slots[i].emplace(fn(i, cancel));
+                            } else if (!failed.load(
+                                           std::memory_order_relaxed)) {
+                                slots[i].emplace(fn(i));
+                            }
+                            // else: queued sibling of a failed task —
+                            // skip; map() rethrows before slots are read.
+                        } catch (...) {
+                            errors[i] = std::current_exception();
+                            failed.store(true,
+                                         std::memory_order_relaxed);
+                            failFast.requestStop();
+                        }
+                    });
+                }
+                pool.wait();
             }
-            pool.wait();
             for (std::size_t i = 0; i < count; ++i) {
                 if (errors[i])
                     std::rethrow_exception(errors[i]);

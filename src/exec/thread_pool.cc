@@ -1,5 +1,11 @@
 #include "exec/thread_pool.hh"
 
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/logging.hh"
+
 namespace tia {
 
 unsigned
@@ -7,6 +13,41 @@ ThreadPool::defaultConcurrency()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : hw;
+}
+
+unsigned
+ThreadPool::maxReasonableJobs()
+{
+    const unsigned hw = defaultConcurrency();
+    const unsigned headroom = hw > 8 ? 8 * hw : 64;
+    return headroom < 64 ? 64 : headroom;
+}
+
+unsigned
+ThreadPool::parseJobs(const std::string &text, const char *what)
+{
+    fatalIf(text.empty(), what, " wants a non-negative integer");
+    for (char c : text) {
+        fatalIf(!std::isdigit(static_cast<unsigned char>(c)), what,
+                " wants a non-negative integer, got \"", text, "\"");
+    }
+    unsigned long value = 0;
+    try {
+        value = std::stoul(text);
+    } catch (const std::out_of_range &) {
+        value = maxReasonableJobs() + 1ul; // clamp below
+    }
+    if (value == 0)
+        return defaultConcurrency();
+    const unsigned limit = maxReasonableJobs();
+    if (value > limit) {
+        std::fprintf(stderr,
+                     "warning: %s %s exceeds the sane limit for this "
+                     "machine; clamping to %u\n",
+                     what, text.c_str(), limit);
+        return limit;
+    }
+    return static_cast<unsigned>(value);
 }
 
 ThreadPool::ThreadPool(unsigned threads)

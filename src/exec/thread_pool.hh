@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -54,6 +55,23 @@ class ThreadPool
      * cannot tell (the standard allows it to return 0).
      */
     static unsigned defaultConcurrency();
+
+    /**
+     * Largest --jobs value the CLI tools accept without clamping:
+     * generous oversubscription headroom (8x the hardware threads,
+     * floor 64), but far below values that would exhaust memory or
+     * thread handles on a typo like --jobs 999999.
+     */
+    static unsigned maxReasonableJobs();
+
+    /**
+     * Parse a --jobs CLI argument. Accepts non-negative decimal
+     * integers only; 0 means "auto" (defaultConcurrency). Values above
+     * maxReasonableJobs() are clamped with a warning on stderr;
+     * malformed text exits with a diagnostic naming @p what.
+     */
+    static unsigned parseJobs(const std::string &text,
+                              const char *what = "--jobs");
 
   private:
     void workerLoop();

@@ -1022,13 +1022,33 @@ Server::handleSweep(const JsonValue &params, Job &job)
     options.cache = paramBool(params, "cache", true) ? &cache_ : nullptr;
 
     // Serial within this worker: the request already owns one worker
-    // slot; fanning out would let one sweep starve other clients.
-    const CycleMatrix matrix = runCycleMatrix(workloads, configs, options, 1);
-
+    // slot; fanning out would let one sweep starve other clients. The
+    // streamed runner's in-order sink builds the response rows while
+    // the matrix runs (at jobs == 1 this is the serial reference loop,
+    // with the JSON assembly interleaved between cells instead of
+    // trailing the whole matrix).
     std::size_t cancelledCells = 0;
-    for (const WorkloadRun &run : matrix.runs)
-        if (run.status == RunStatus::Cancelled)
-            cancelledCells++;
+    JsonValue cells = JsonValue::array();
+    JsonValue row = JsonValue::array();
+    const CycleMatrix matrix = runCycleMatrixStreamed(
+        workloads, configs, options, 1,
+        [&](std::size_t, std::size_t w, const WorkloadRun &run) {
+            if (run.status == RunStatus::Cancelled)
+                cancelledCells++;
+            JsonValue cell = JsonValue::object();
+            cell["status"] = runStatusName(run.status);
+            cell["cycles"] = run.totalCycles;
+            cell["cpi"] = run.worker.cpi();
+            cell["check"] = run.checkError.empty()
+                                ? JsonValue("ok")
+                                : JsonValue(run.checkError);
+            row.push(std::move(cell));
+            if (w + 1 == workloads.size()) {
+                cells.push(std::move(row));
+                row = JsonValue::array();
+            }
+        });
+
     if (cancelledCells > 0) {
         JsonValue detail = JsonValue::object();
         detail["cells"] = matrix.runs.size();
@@ -1050,22 +1070,6 @@ Server::handleSweep(const JsonValue &params, Job &job)
         configNames.push(config.name());
     result["configs"] = std::move(configNames);
     result["wall_ms"] = matrix.wallMs;
-    JsonValue cells = JsonValue::array();
-    for (std::size_t c = 0; c < matrix.numConfigs; ++c) {
-        JsonValue row = JsonValue::array();
-        for (std::size_t w = 0; w < matrix.numWorkloads; ++w) {
-            const WorkloadRun &run = matrix.run(c, w);
-            JsonValue cell = JsonValue::object();
-            cell["status"] = runStatusName(run.status);
-            cell["cycles"] = run.totalCycles;
-            cell["cpi"] = run.worker.cpi();
-            cell["check"] = run.checkError.empty()
-                                ? JsonValue("ok")
-                                : JsonValue(run.checkError);
-            row.push(std::move(cell));
-        }
-        cells.push(std::move(row));
-    }
     result["cells"] = std::move(cells);
     return makeResult(job.request.id, std::move(result));
 }

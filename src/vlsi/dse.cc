@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "core/logging.hh"
+#include "exec/pipeline.hh"
 #include "exec/sweep.hh"
+#include "vlsi/pareto.hh"
 #include "vlsi/timing.hh"
 
 namespace tia {
@@ -105,31 +107,45 @@ DesignSpace::enumerate(const std::vector<PeConfig> &configs) const
     return enumerateParallel(1, configs);
 }
 
+namespace {
+
+/**
+ * One DSE shard per (config, vt, vdd): big enough to amortize task
+ * dispatch, and the concatenation order equals the serial loop nest's
+ * point order.
+ */
+struct DseShard
+{
+    const PeConfig *config;
+    VtClass vt;
+    double vdd;
+};
+
+std::vector<DseShard>
+dseShards(const std::vector<PeConfig> &configs)
+{
+    std::vector<DseShard> shards;
+    for (const PeConfig &config : configs) {
+        for (VtClass vt :
+             {VtClass::Low, VtClass::Standard, VtClass::High}) {
+            for (double vdd : DesignSpace::supplyGrid(vt))
+                shards.push_back({&config, vt, vdd});
+        }
+    }
+    return shards;
+}
+
+} // namespace
+
 std::vector<DesignPoint>
 DesignSpace::enumerateParallel(unsigned jobs,
                                const std::vector<PeConfig> &configs) const
 {
-    // One shard per (config, vt, vdd): big enough to amortize task
-    // dispatch, and the concatenation order equals the serial loop
-    // nest's point order.
-    struct Shard
-    {
-        const PeConfig *config;
-        VtClass vt;
-        double vdd;
-    };
-    std::vector<Shard> shards;
-    for (const PeConfig &config : configs) {
-        for (VtClass vt :
-             {VtClass::Low, VtClass::Standard, VtClass::High}) {
-            for (double vdd : supplyGrid(vt))
-                shards.push_back({&config, vt, vdd});
-        }
-    }
+    const std::vector<DseShard> shards = dseShards(configs);
 
     const SweepEngine engine(jobs);
     auto sweep = engine.map(shards.size(), [&](std::size_t i) {
-        const Shard &shard = shards[i];
+        const DseShard &shard = shards[i];
         std::vector<DesignPoint> points;
         const double fmax =
             maxFrequencyMhz(*shard.config, shard.vdd, shard.vt, tech_);
@@ -149,6 +165,65 @@ DesignSpace::enumerateParallel(unsigned jobs,
                       std::make_move_iterator(shard_points.end()));
     }
     return points;
+}
+
+DseStreamResult
+DesignSpace::enumerateStreamed(unsigned jobs,
+                               const std::vector<PeConfig> &configs,
+                               const DseStreamOptions &options) const
+{
+    const std::vector<DseShard> shards = dseShards(configs);
+
+    DseStreamResult result;
+    result.shardsTotal = shards.size();
+
+    IncrementalPareto pareto;
+    std::size_t sinceChange = 0; // points sunk since last frontier change
+    StopSource earlyStop;
+
+    const SweepPipeline pipeline(jobs);
+    const PipelineResult run = pipeline.run(
+        shards.size(),
+        [&](std::size_t i) {
+            const DseShard &shard = shards[i];
+            std::vector<DesignPoint> points;
+            const double fmax = maxFrequencyMhz(*shard.config, shard.vdd,
+                                                shard.vt, tech_);
+            for (double f : frequencyGridMhz(shard.vt, shard.vdd)) {
+                if (f > fmax)
+                    break;
+                points.push_back(
+                    evaluate(*shard.config, shard.vt, shard.vdd, f));
+            }
+            return points;
+        },
+        [&](std::size_t, std::vector<DesignPoint> &&shardPoints) {
+            bool changed = false;
+            for (DesignPoint &point : shardPoints) {
+                if (pareto.add(point)) {
+                    changed = true;
+                    sinceChange = 0;
+                } else {
+                    ++sinceChange;
+                }
+                result.points.push_back(std::move(point));
+            }
+            ++result.shardsCompleted;
+            if (changed && options.onFrontierUpdate)
+                options.onFrontierUpdate(pareto.pointsSeen(),
+                                         pareto.frontier());
+            if (options.stableWindow != 0 &&
+                sinceChange >= options.stableWindow)
+                earlyStop.requestStop();
+        },
+        earlyStop.token());
+
+    result.frontier = pareto.frontier();
+    result.frontierUpdates = pareto.updates();
+    result.earlyExit = run.stoppedEarly;
+    result.jobs = run.jobs;
+    result.wallMs = run.wallMs;
+    return result;
 }
 
 std::vector<DesignPoint>

@@ -16,6 +16,8 @@
 #ifndef TIA_VLSI_DSE_HH
 #define TIA_VLSI_DSE_HH
 
+#include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,6 +57,41 @@ struct DesignPoint
     double edp() const { return nsPerInstruction * pjPerInstruction; }
 };
 
+/** Options for DesignSpace::enumerateStreamed. */
+struct DseStreamOptions
+{
+    /**
+     * Early exit: stop generating new shards once this many
+     * consecutive design points have been sunk without changing the
+     * Pareto frontier. 0 disables early exit (the full grid runs).
+     */
+    std::size_t stableWindow = 0;
+    /**
+     * Streaming frontier observer, called on the enumerating thread
+     * at most once per completed shard whose points changed the
+     * frontier: (points seen so far, current frontier).
+     */
+    std::function<void(std::size_t pointsSeen,
+                       const std::vector<DesignPoint> &frontier)>
+        onFrontierUpdate;
+};
+
+/** Result of DesignSpace::enumerateStreamed. */
+struct DseStreamResult
+{
+    /** Every evaluated point, in the serial enumerate() order. */
+    std::vector<DesignPoint> points;
+    /** Energy-delay Pareto frontier of @ref points, by ascending ns. */
+    std::vector<DesignPoint> frontier;
+    std::size_t frontierUpdates = 0; ///< Points that changed the frontier.
+    std::size_t shardsTotal = 0;     ///< (config, vt, vdd) shards in grid.
+    std::size_t shardsCompleted = 0; ///< Shards evaluated (== total unless
+                                     ///< earlyExit).
+    bool earlyExit = false; ///< Stopped via stableWindow before the end.
+    unsigned jobs = 1;      ///< Worker threads used.
+    double wallMs = 0.0;    ///< Wall-clock time of the enumeration.
+};
+
 class DesignSpace
 {
   public:
@@ -89,6 +126,21 @@ class DesignSpace
     enumerateParallel(unsigned jobs,
                       const std::vector<PeConfig> &configs =
                           allConfigs()) const;
+
+    /**
+     * enumerateParallel on the streaming SweepPipeline
+     * (exec/pipeline.hh) with an incremental Pareto frontier
+     * (vlsi/pareto.hh) maintained in the in-order sink. Point order
+     * and values are element-wise identical to enumerate() when the
+     * full grid runs; with DseStreamOptions::stableWindow set, the
+     * enumeration may stop early and @ref DseStreamResult::points
+     * holds a contiguous shard prefix of the serial order (the
+     * frontier is exact for the points evaluated).
+     */
+    DseStreamResult
+    enumerateStreamed(unsigned jobs,
+                      const std::vector<PeConfig> &configs = allConfigs(),
+                      const DseStreamOptions &options = {}) const;
 
     /**
      * Frequency grid for one (vt, vdd) per the methodology. The

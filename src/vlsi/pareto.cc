@@ -1,0 +1,50 @@
+#include "vlsi/pareto.hh"
+
+#include <algorithm>
+
+namespace tia {
+
+bool
+IncrementalPareto::add(const DesignPoint &point)
+{
+    ++seen_;
+
+    // Invariant: frontier_ is sorted by strictly ascending ns and
+    // strictly descending pj, so a single binary search on ns finds
+    // both the potential dominator (the predecessor) and the start of
+    // the contiguous run of points the new point dominates.
+    const auto after = std::upper_bound(
+        frontier_.begin(), frontier_.end(), point.nsPerInstruction,
+        [](double ns, const DesignPoint &p) {
+            return ns < p.nsPerInstruction;
+        });
+
+    // Weak dominance: a predecessor no worse in both coordinates
+    // rejects the new point (first arrival wins on exact ties).
+    if (after != frontier_.begin()) {
+        const DesignPoint &pred = *(after - 1);
+        if (pred.pjPerInstruction <= point.pjPerInstruction)
+            return false;
+    }
+
+    // The new point survives. Evict everything it weakly dominates:
+    // an equal-ns predecessor with worse pj, plus the contiguous run
+    // of successors whose pj is >= ours (their ns is >= ours by sort).
+    auto evictBegin = after;
+    if (after != frontier_.begin() &&
+        (after - 1)->nsPerInstruction == point.nsPerInstruction) {
+        evictBegin = after - 1; // equal ns, worse pj (checked above)
+    }
+    auto evictEnd = evictBegin;
+    while (evictEnd != frontier_.end() &&
+           evictEnd->pjPerInstruction >= point.pjPerInstruction)
+        ++evictEnd;
+
+    evictions_ += static_cast<std::size_t>(evictEnd - evictBegin);
+    const auto insertAt = frontier_.erase(evictBegin, evictEnd);
+    frontier_.insert(insertAt, point);
+    ++updates_;
+    return true;
+}
+
+} // namespace tia

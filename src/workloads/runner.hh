@@ -15,6 +15,9 @@
 #ifndef TIA_WORKLOADS_RUNNER_HH
 #define TIA_WORKLOADS_RUNNER_HH
 
+#include <cstddef>
+#include <functional>
+
 #include "exec/stop_token.hh"
 #include "obs/json.hh"
 #include "obs/trace.hh"
@@ -165,6 +168,12 @@ struct CycleMatrix
 
 /**
  * Run every workload under every microarchitecture.
+ *
+ * Implemented on the streaming pipeline (exec/pipeline.hh) with a
+ * null sink — bit-identical to runCycleMatrixFlat for any jobs count
+ * (asserted by tests/test_sweep_pipeline.cc), but a task exception
+ * cancels in-flight siblings instead of waiting out the matrix.
+ *
  * @param jobs worker threads; 0 = hardware concurrency, 1 = serial
  *             reference loop.
  */
@@ -172,6 +181,39 @@ CycleMatrix runCycleMatrix(const std::vector<Workload> &workloads,
                            const std::vector<PeConfig> &configs,
                            const CycleRunOptions &options = {},
                            unsigned jobs = 1);
+
+/**
+ * Streaming consumer for runCycleMatrixStreamed: called strictly in
+ * row-major cell order — (0,0), (0,1), … — on the calling thread, as
+ * soon as each cell's run is available, while later cells are still
+ * simulating. The run reference points at the cell just appended to
+ * the matrix being built.
+ */
+using CycleMatrixSink = std::function<void(
+    std::size_t config, std::size_t workload, const WorkloadRun &run)>;
+
+/**
+ * runCycleMatrix through the SweepPipeline: cells stream to @p sink in
+ * row-major order while the worker pool simulates ahead, so JSON
+ * assembly / metrics / cache-save work overlaps simulation instead of
+ * trailing the full-matrix barrier. The returned matrix is complete
+ * and bit-identical to runCycleMatrixFlat. A sink exception fails the
+ * sweep fast (sibling tasks are cancelled) and is rethrown.
+ */
+CycleMatrix runCycleMatrixStreamed(const std::vector<Workload> &workloads,
+                                   const std::vector<PeConfig> &configs,
+                                   const CycleRunOptions &options,
+                                   unsigned jobs,
+                                   const CycleMatrixSink &sink);
+
+/**
+ * Reference implementation on the flat SweepEngine::map barrier (no
+ * streaming); kept for equivalence tests and `tia-sweep --flat`.
+ */
+CycleMatrix runCycleMatrixFlat(const std::vector<Workload> &workloads,
+                               const std::vector<PeConfig> &configs,
+                               const CycleRunOptions &options = {},
+                               unsigned jobs = 1);
 
 /**
  * Build the tia-metrics/v1 run entry for a finished cycle run: status,

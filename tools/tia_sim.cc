@@ -89,6 +89,7 @@
 #include "core/assembler.hh"
 #include "core/logging.hh"
 #include "exec/sweep.hh"
+#include "exec/thread_pool.hh"
 #include "obs/binary_ring.hh"
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
@@ -675,7 +676,7 @@ main(int argc, char **argv)
             } else if (arg == "--pes") {
                 opt.pes = static_cast<unsigned>(std::stoul(next()));
             } else if (arg == "--jobs") {
-                opt.jobs = static_cast<unsigned>(std::stoul(next()));
+                opt.jobs = ThreadPool::parseJobs(next());
             } else if (arg == "--connect") {
                 const auto v = numbers(next(), ".:");
                 fatalIf(v.size() != 4, "--connect wants A.O:B.I");

@@ -3,23 +3,36 @@
  * tia-sweep: batch sweep driver emitting machine-readable JSON.
  *
  * Runs the full uarch x workload CPI matrix (the Figure 5 product)
- * and the VLSI design-space exploration (Figures 6-8) on the parallel
- * sweep engine, and emits one JSON document with the matrix, the
- * attempted/evaluated design-point counts and the energy-delay Pareto
- * frontier. Results are bit-identical for any --jobs value; the
- * wall_ms fields are the measured sweep times (the speedup evidence
- * on multi-core hosts).
+ * and the VLSI design-space exploration (Figures 6-8) on the streaming
+ * sweep pipeline (exec/pipeline.hh): JSON row assembly and metrics
+ * entries are built in the pipeline's in-order sink while later cells
+ * are still simulating, and the cache save overlaps the DSE phase.
+ * Emits one JSON document with the matrix, the attempted/evaluated
+ * design-point counts and the energy-delay Pareto frontier. Results
+ * are bit-identical for any --jobs value and for --flat vs the
+ * pipeline (asserted by the ctest fixtures); the wall_ms fields are
+ * the measured sweep times (the speedup evidence on multi-core hosts).
  *
  *   tia-sweep [options]
  *
  * Options:
- *   --jobs N     worker threads (default: hardware concurrency)
+ *   --jobs N     worker threads (default: hardware concurrency;
+ *                absurd values are clamped with a warning)
  *   --small      reduced workload sizes (fast smoke pass)
  *   --configs X  "all" (default), "fig5", or a comma-separated list
  *                of microarchitecture names
  *   --suite-cpi  drive the DSE with suite-average CPI instead of the
  *                paper's bst-only methodology
  *   --no-dse     emit only the CPI matrix
+ *   --flat       run on the flat SweepEngine::map barrier instead of
+ *                the pipeline (reference implementation; the output
+ *                must be byte-identical modulo wall_ms)
+ *   --incremental  stream Pareto-frontier updates to stderr during the
+ *                DSE and stop enumerating once the frontier has been
+ *                stable for --stable-window consecutive design points;
+ *                adds incremental/early-exit fields to the "dse" block
+ *   --stable-window N  early-exit window for --incremental
+ *                (default 500 points; 0 = never exit early)
  *   --out FILE   write the JSON to FILE instead of stdout
  *   --metrics FILE  also write a tia-metrics/v1 document with one run
  *                entry per matrix cell (validate with
@@ -37,11 +50,13 @@
  * ("tia-sweep/v1").
  */
 
+#include <cctype>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/simcache.hh"
@@ -63,6 +78,9 @@ struct Options
     bool small = false;
     bool suiteCpi = false;
     bool dse = true;
+    bool flat = false;        ///< Reference flat engine, no pipeline.
+    bool incremental = false; ///< Stream frontier updates + early exit.
+    std::size_t stableWindow = 500;
     std::string configs = "all";
     std::string outPath;
     std::string metricsPath;
@@ -148,16 +166,78 @@ run(const Options &opt)
         run_options.cache = &*cache;
     }
 
-    const CycleMatrix matrix =
-        runCycleMatrix(suite, configs, run_options, jobs);
+    // Per-config JSON rows and metrics entries, built cell-by-cell in
+    // the pipeline's in-order sink while later cells simulate. The
+    // --flat path feeds the same builder in the same row-major order
+    // after the barrier, so the two outputs are byte-identical.
+    MetricsRegistry registry("tia-sweep");
+    bool all_ok = true;
+    std::vector<std::string> cpiRows(configs.size());
+    std::vector<std::string> cycleRows(configs.size());
+    std::vector<std::string> statusRows(configs.size());
+    const auto addCell = [&](std::size_t c, std::size_t w,
+                             const WorkloadRun &cell) {
+        std::string &cpiRow = cpiRows[c];
+        if (w)
+            cpiRow += ", ";
+        jsonNumber(cpiRow, cell.worker.cpi());
+        std::string &cycleRow = cycleRows[c];
+        if (w)
+            cycleRow += ", ";
+        cycleRow += std::to_string(cell.totalCycles);
+        std::string &statusRow = statusRows[c];
+        if (w)
+            statusRow += ", ";
+        jsonString(statusRow,
+                   cell.ok() ? "ok" : runStatusName(cell.status));
+        all_ok = all_ok && cell.ok();
+        if (!opt.metricsPath.empty()) {
+            registry.addRun(workloadRunMetrics(cell, configs[c],
+                                               suite[w].name));
+        }
+    };
 
-    if (cache) {
-        std::string save_error;
-        fatalIf(!cache->save(opt.cachePath, &save_error),
-                "cannot save cache: ", save_error);
+    CycleMatrix matrix;
+    if (opt.flat) {
+        matrix = runCycleMatrixFlat(suite, configs, run_options, jobs);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            for (std::size_t w = 0; w < suite.size(); ++w)
+                addCell(c, w, matrix.run(c, w));
+        }
+    } else {
+        matrix = runCycleMatrixStreamed(suite, configs, run_options,
+                                        jobs, addCell);
     }
 
-    bool all_ok = true;
+    // Kick the cache save off in the background so its serialization
+    // and fsync I/O overlap the DSE phase (a fully warm cache skips
+    // the save entirely — see SimCache::save). Joined before exit.
+    const bool dsePhase = opt.dse && all_ok;
+    bool save_ok = true;
+    std::string save_error;
+    std::thread cacheSaver;
+    // Joins the saver even if something below throws (a joinable
+    // std::thread destructor would terminate the process).
+    struct Joiner
+    {
+        std::thread &t;
+        ~Joiner()
+        {
+            if (t.joinable())
+                t.join();
+        }
+    } joiner{cacheSaver};
+    if (cache) {
+        const auto saveCache = [&] {
+            save_ok = cache->save(opt.cachePath, &save_error);
+        };
+        if (dsePhase) {
+            cacheSaver = std::thread(saveCache);
+        } else {
+            saveCache();
+        }
+    }
+
     std::string json;
     json += "{\n";
     json += "  \"schema\": \"tia-sweep/v1\",\n";
@@ -183,40 +263,22 @@ run(const Options &opt)
     // Row-major [config][workload] arrays, rows parallel to "configs".
     json += "],\n    \"cpi\": [\n";
     for (std::size_t c = 0; c < configs.size(); ++c) {
-        json += "      [";
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            if (w)
-                json += ", ";
-            jsonNumber(json, matrix.run(c, w).worker.cpi());
-        }
+        json += "      [" + cpiRows[c];
         json += c + 1 < configs.size() ? "],\n" : "]\n";
     }
     json += "    ],\n    \"cycles\": [\n";
     for (std::size_t c = 0; c < configs.size(); ++c) {
-        json += "      [";
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            if (w)
-                json += ", ";
-            json += std::to_string(matrix.run(c, w).totalCycles);
-        }
+        json += "      [" + cycleRows[c];
         json += c + 1 < configs.size() ? "],\n" : "]\n";
     }
     json += "    ],\n    \"status\": [\n";
     for (std::size_t c = 0; c < configs.size(); ++c) {
-        json += "      [";
-        for (std::size_t w = 0; w < suite.size(); ++w) {
-            if (w)
-                json += ", ";
-            const WorkloadRun &cell = matrix.run(c, w);
-            jsonString(json, cell.ok() ? "ok"
-                                       : runStatusName(cell.status));
-            all_ok = all_ok && cell.ok();
-        }
+        json += "      [" + statusRows[c];
         json += c + 1 < configs.size() ? "],\n" : "]\n";
     }
     json += "    ]\n  }";
 
-    if (opt.dse && all_ok) {
+    if (dsePhase) {
         CpiTable table;
         if (opt.suiteCpi) {
             for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -239,13 +301,50 @@ run(const Options &opt)
         }
 
         const DesignSpace dse(std::move(table));
-        const auto dse_start = std::chrono::steady_clock::now();
-        const auto points = dse.enumerateParallel(jobs, configs);
-        const double dse_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - dse_start)
-                .count();
-        const auto frontier = DesignSpace::paretoFrontier(points);
+        std::vector<DesignPoint> frontier;
+        double dse_ms = 0.0;
+        std::size_t evaluated = 0;
+        std::string incrementalJson;
+        if (opt.flat) {
+            const auto dse_start = std::chrono::steady_clock::now();
+            const auto points = dse.enumerateParallel(jobs, configs);
+            dse_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - dse_start)
+                         .count();
+            frontier = DesignSpace::paretoFrontier(points);
+            evaluated = points.size();
+        } else {
+            DseStreamOptions stream_options;
+            if (opt.incremental) {
+                stream_options.stableWindow = opt.stableWindow;
+                stream_options.onFrontierUpdate =
+                    [](std::size_t seen,
+                       const std::vector<DesignPoint> &f) {
+                        std::fprintf(stderr,
+                                     "tia-sweep: frontier %zu points "
+                                     "after %zu design points\n",
+                                     f.size(), seen);
+                    };
+            }
+            DseStreamResult stream =
+                dse.enumerateStreamed(jobs, configs, stream_options);
+            frontier = std::move(stream.frontier);
+            dse_ms = stream.wallMs;
+            evaluated = stream.points.size();
+            if (opt.incremental) {
+                incrementalJson +=
+                    "    \"incremental\": true,\n    \"stable_window\": " +
+                    std::to_string(opt.stableWindow) +
+                    ",\n    \"early_exit\": " +
+                    (stream.earlyExit ? "true" : "false") +
+                    ",\n    \"frontier_updates\": " +
+                    std::to_string(stream.frontierUpdates) +
+                    ",\n    \"shards_completed\": " +
+                    std::to_string(stream.shardsCompleted) +
+                    ",\n    \"shards_total\": " +
+                    std::to_string(stream.shardsTotal) + ",\n";
+            }
+        }
 
         json += ",\n  \"dse\": {\n";
         json += std::string("    \"cpi_source\": ") +
@@ -254,7 +353,8 @@ run(const Options &opt)
         jsonNumber(json, dse_ms);
         json += ",\n    \"grid_points\": " +
                 std::to_string(dse.gridSize(configs)) + ",\n";
-        json += "    \"evaluated\": " + std::to_string(points.size()) +
+        json += incrementalJson;
+        json += "    \"evaluated\": " + std::to_string(evaluated) +
                 ",\n";
         json += "    \"pareto\": [\n";
         for (std::size_t i = 0; i < frontier.size(); ++i) {
@@ -289,17 +389,14 @@ run(const Options &opt)
     }
     json += "\n}\n";
 
+    if (cacheSaver.joinable())
+        cacheSaver.join();
+    fatalIf(!save_ok, "cannot save cache: ", save_error);
+
     if (!opt.metricsPath.empty()) {
-        MetricsRegistry registry("tia-sweep");
         registry.root()["sizes"] = opt.small ? "small" : "full";
         if (cache)
             registry.root()["cache"] = cache->statsJson();
-        for (std::size_t c = 0; c < configs.size(); ++c) {
-            for (std::size_t w = 0; w < suite.size(); ++w) {
-                registry.addRun(workloadRunMetrics(
-                    matrix.run(c, w), configs[c], suite[w].name));
-            }
-        }
         fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
                 opt.metricsPath);
     }
@@ -337,13 +434,31 @@ main(int argc, char **argv)
                 return argv[++i];
             };
             if (arg == "--jobs") {
-                opt.jobs = static_cast<unsigned>(std::stoul(next()));
+                opt.jobs = ThreadPool::parseJobs(next());
             } else if (arg == "--small") {
                 opt.small = true;
             } else if (arg == "--suite-cpi") {
                 opt.suiteCpi = true;
             } else if (arg == "--no-dse") {
                 opt.dse = false;
+            } else if (arg == "--flat") {
+                opt.flat = true;
+            } else if (arg == "--incremental") {
+                opt.incremental = true;
+            } else if (arg == "--stable-window") {
+                const std::string text = next();
+                for (char c : text) {
+                    fatalIf(!std::isdigit(
+                                static_cast<unsigned char>(c)) ||
+                                text.empty(),
+                            "--stable-window wants a non-negative "
+                            "integer, got \"",
+                            text, "\"");
+                }
+                fatalIf(text.empty(), "--stable-window wants a "
+                                      "non-negative integer");
+                opt.stableWindow =
+                    static_cast<std::size_t>(std::stoull(text));
             } else if (arg == "--configs") {
                 opt.configs = next();
             } else if (arg == "--out") {
