@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "cache/simcache.hh"
@@ -103,6 +104,71 @@ class BenchCache
     std::string path_;
     std::optional<SimCache> cache_;
 };
+
+#ifdef BENCHMARK_BENCHMARK_H_
+
+/**
+ * How the google-benchmark *library* was compiled ("release" or
+ * "debug"). The library bakes its own NDEBUG state into
+ * JSONReporter::ReportContext as "library_build_type", so rendering an
+ * empty context and parsing that key recovers it at runtime — there is
+ * no direct API. Distro packages ship debug-assert builds surprisingly
+ * often, and a debug library skews every timing it brackets.
+ */
+inline std::string
+benchmarkLibraryBuildType()
+{
+    std::ostringstream json;
+    benchmark::JSONReporter reporter;
+    reporter.SetOutputStream(&json);
+    reporter.SetErrorStream(&json);
+    reporter.ReportContext(benchmark::BenchmarkReporter::Context());
+    const std::string text = json.str();
+    const std::string key = "\"library_build_type\": \"";
+    const auto pos = text.find(key);
+    if (pos == std::string::npos)
+        return "unknown";
+    const auto start = pos + key.size();
+    const auto end = text.find('"', start);
+    if (end == std::string::npos)
+        return "unknown";
+    return text.substr(start, end - start);
+}
+
+/**
+ * Cross-check the benchmark library's build type against this
+ * project's: warn on stderr and tag the emitted context
+ * ("build_type_mismatch") on disagreement, so a baseline produced
+ * against a debug library is visible in BENCH_throughput.json at
+ * review time. Call after benchmark::Initialize (the context needs the
+ * executable name), before RunSpecifiedBenchmarks.
+ */
+inline void
+checkBenchmarkBuildType()
+{
+#ifdef NDEBUG
+    const std::string project = "release";
+#else
+    const std::string project = "debug";
+#endif
+    const std::string library = benchmarkLibraryBuildType();
+    benchmark::AddCustomContext("project_build_type", project);
+    if (library != project) {
+        std::fprintf(
+            stderr,
+            "bench: WARNING: google-benchmark library is a %s build "
+            "but this project is a %s build; timings bracketed by "
+            "library code are skewed. Configure with "
+            "-DTIA_BENCHMARK_SOURCE_DIR=<benchmark checkout> to build "
+            "the library with the project's flags.\n",
+            library.c_str(), project.c_str());
+        benchmark::AddCustomContext("build_type_mismatch",
+                                    "library=" + library +
+                                        " project=" + project);
+    }
+}
+
+#endif // BENCHMARK_BENCHMARK_H_
 
 /** Print a banner naming the reproduced table/figure. */
 inline void

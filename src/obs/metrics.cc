@@ -271,6 +271,64 @@ checkCacheStats(Checker &check, const JsonValue &cache)
         check.fail(where, "verified_hits exceeds hits");
 }
 
+// The optional root "sweep" block, today carrying only the batched
+// lockstep accounting (batchStatsJson). The identities are the batch
+// runner's lane classification: every lane is a hit or a miss (no
+// cache = all misses), every miss simulates (verify-mode hits
+// re-simulate too, so simulated can exceed misses but never lanes),
+// only hit lanes verify, and only simulated lanes can be cancelled.
+void
+checkSweepStats(Checker &check, const JsonValue &sweep)
+{
+    const std::string where = "sweep";
+    if (!sweep.isObject()) {
+        check.fail(where, "must be an object");
+        return;
+    }
+    const JsonValue *batch = check.require(sweep, where, "batch");
+    if (batch == nullptr)
+        return;
+    const std::string bwhere = where + ".batch";
+    if (!batch->isObject()) {
+        check.fail(bwhere, "must be an object");
+        return;
+    }
+    double width = 0, groups = 0, lanes = 0, hits = 0, misses = 0;
+    double simulated = 0, verified = 0, cancelled = 0;
+    bool ok = check.number(*batch, bwhere, "width", width);
+    ok &= check.number(*batch, bwhere, "groups", groups);
+    ok &= check.number(*batch, bwhere, "lanes", lanes);
+    ok &= check.number(*batch, bwhere, "hits", hits);
+    ok &= check.number(*batch, bwhere, "misses", misses);
+    ok &= check.number(*batch, bwhere, "simulated", simulated);
+    ok &= check.number(*batch, bwhere, "verified", verified);
+    ok &= check.number(*batch, bwhere, "cancelled", cancelled);
+    if (!ok)
+        return;
+    if (width < 1)
+        check.fail(bwhere, "width must be at least 1");
+    if (groups < 1)
+        check.fail(bwhere, "groups must be at least 1");
+    if (lanes < groups)
+        check.fail(bwhere, "lanes below groups (every group has at "
+                           "least one lane)");
+    if (hits + misses != lanes) {
+        check.fail(bwhere, "hits + misses (" +
+                               std::to_string(hits + misses) +
+                               ") != lanes (" + std::to_string(lanes) +
+                               ")");
+    }
+    if (simulated < misses)
+        check.fail(bwhere, "simulated below misses (every miss lane "
+                           "simulates)");
+    if (simulated > lanes)
+        check.fail(bwhere, "simulated exceeds lanes");
+    if (verified > hits)
+        check.fail(bwhere, "verified exceeds hits");
+    if (cancelled > simulated)
+        check.fail(bwhere, "cancelled exceeds simulated");
+}
+
 // The optional root "server" block (Server::serverStatsJson). The
 // accounting identities are the service's no-silent-drop contract in
 // arithmetic form: every received request is admitted, shed or
@@ -397,6 +455,8 @@ validateMetricsDocument(const JsonValue &doc)
     }
     if (const JsonValue *cache = doc.find("cache"))
         checkCacheStats(check, *cache);
+    if (const JsonValue *sweep = doc.find("sweep"))
+        checkSweepStats(check, *sweep);
     if (const JsonValue *server = doc.find("server"))
         checkServerStats(check, *server);
     return check.problems;

@@ -94,7 +94,9 @@ JsonValue sleepMetricsJson(std::uint64_t executed, std::uint64_t skipped);
  * Validate a parsed document against the tia-metrics/v1 schema and the
  * counter-integrity invariants. Optional root blocks are checked when
  * present: "cache" (SimCache stats: hits + misses + coalesced ==
- * lookups, verified <= hits) and "server" (tia-serve accounting
+ * lookups, verified <= hits), "sweep" (batched lockstep accounting:
+ * hits + misses == lanes, misses <= simulated <= lanes, verified <=
+ * hits, cancelled <= simulated) and "server" (tia-serve accounting
  * identities: received == admitted + shed + rejected, admitted ==
  * completed + cancelled + failed + active + queue_depth, ordered
  * latency percentiles). A document carrying a "server" block may have

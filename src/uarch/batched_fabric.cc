@@ -1,0 +1,72 @@
+#include "uarch/batched_fabric.hh"
+
+#include <algorithm>
+
+#include "core/logging.hh"
+
+namespace tia {
+
+BatchedFabric::BatchedFabric(const FabricConfig &config,
+                             const Program &program,
+                             const std::vector<PeConfig> &uarchs,
+                             std::vector<FaultInjector *> injectors)
+    : injectors_(std::move(injectors))
+{
+    fatalIf(uarchs.empty(), "BatchedFabric needs at least one lane");
+    fatalIf(injectors_.size() > uarchs.size(),
+            "more fault injectors (", injectors_.size(),
+            ") than lanes (", uarchs.size(), ")");
+    injectors_.resize(uarchs.size(), nullptr);
+    lanes_.reserve(uarchs.size());
+    for (std::size_t l = 0; l < uarchs.size(); ++l)
+        lanes_.push_back(std::make_unique<CycleFabric>(
+            config, program, uarchs[l], injectors_[l]));
+    done_.assign(uarchs.size(), 0);
+}
+
+std::vector<BatchedLaneOutcome>
+BatchedFabric::run(const FabricRunOptions &options)
+{
+    const unsigned n = numLanes();
+    std::vector<CycleFabric::RunCursor> cursors;
+    cursors.reserve(n);
+    for (unsigned l = 0; l < n; ++l)
+        cursors.emplace_back(*lanes_[l], options);
+
+    std::vector<BatchedLaneOutcome> outcomes(n);
+    std::fill(done_.begin(), done_.end(), 0);
+    unsigned live = n;
+    while (live > 0) {
+        for (unsigned l = 0; l < n; ++l) {
+            if (done_[l])
+                continue;
+            if (injectors_[l] == nullptr) {
+                if (const auto status = cursors[l].advance()) {
+                    outcomes[l].status = *status;
+                    done_[l] = 1;
+                    --live;
+                }
+                continue;
+            }
+            // Mirrors the scalar harness: corrupted tokens on an
+            // injected lane can escalate to architectural traps —
+            // a reportable per-lane outcome, not a batch failure.
+            try {
+                if (const auto status = cursors[l].advance()) {
+                    outcomes[l].status = *status;
+                    done_[l] = 1;
+                    --live;
+                }
+            } catch (const FatalError &error) {
+                outcomes[l].status = RunStatus::StepLimit;
+                outcomes[l].trapped = true;
+                outcomes[l].trapMessage = error.what();
+                done_[l] = 1;
+                --live;
+            }
+        }
+    }
+    return outcomes;
+}
+
+} // namespace tia

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Batched lockstep multi-uarch simulation kernel: N CycleFabric lanes
+ * executing the same program/config against N different PE
+ * microarchitectures, advanced cycle-by-cycle in lockstep by one
+ * control loop (docs/batched_sim.md).
+ *
+ * The batch control plane is structure-of-arrays: the per-lane done
+ * mask, run status and trap records live in flat parallel arrays the
+ * lockstep loop scans each round, while each lane's architectural
+ * state (queues, predicate files, counters, sleep masks) stays inside
+ * its own CycleFabric. A lane is advanced through
+ * CycleFabric::RunCursor — the exact iteration body scalar run()
+ * loops over — so batched execution is bit-identical to running each
+ * lane alone by construction: same stop-poll cadence, same
+ * halt/quiescence/step-limit classification, same lazy sleep
+ * settlement (tests/test_batched_fabric.cc asserts it differentially).
+ *
+ * Divergent retirement: lanes finish at different cycles (a +P+Q
+ * fabric halts long before the baseline). A finished lane parks — its
+ * done bit is set and the loop skips it — while the rest of the batch
+ * runs on. Fault-injected lanes may also park by trapping
+ * (FatalError from a corrupted token escalating to an architectural
+ * trap); the trap is recorded per lane instead of unwinding the
+ * batch, mirroring the scalar harness's catch-only-when-injected
+ * policy. A trap on a clean lane is a harness bug and propagates.
+ *
+ * What batching buys: one warm control loop drives N fabrics, so the
+ * loop bookkeeping (stop polls, progress tracking, halt checks)
+ * amortizes across lanes, and the lanes' hot data stays resident
+ * while each advances one cycle — the CPI-matrix sweeps of the
+ * paper's own methodology (fig5/fig6) are exactly this shape. See
+ * docs/batched_sim.md for when it wins and by how much.
+ */
+
+#ifndef TIA_UARCH_BATCHED_FABRIC_HH
+#define TIA_UARCH_BATCHED_FABRIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/program.hh"
+#include "sim/fabric_config.hh"
+#include "sim/fault.hh"
+#include "sim/functional.hh" // RunStatus
+#include "uarch/cycle_fabric.hh"
+
+namespace tia {
+
+/** How one lane of a batched run ended. */
+struct BatchedLaneOutcome
+{
+    /** Final status, as scalar CycleFabric::run would have returned. */
+    RunStatus status = RunStatus::StepLimit;
+    /**
+     * True when a fault-injected lane escalated to an architectural
+     * trap (FatalError) instead of finishing; @ref status is then
+     * StepLimit and @ref trapMessage carries the diagnostic, matching
+     * the scalar fault-run convention in workloads/runner.cc.
+     */
+    bool trapped = false;
+    std::string trapMessage;
+};
+
+/** N same-program fabrics advanced in lockstep (one per uarch). */
+class BatchedFabric
+{
+  public:
+    /**
+     * @param config    fabric wiring, shared by every lane.
+     * @param program   assembled program, shared by every lane.
+     * @param uarchs    one PE microarchitecture per lane.
+     * @param injectors optional per-lane fault injectors (non-owning;
+     *                  must outlive the batch). Shorter than @p uarchs
+     *                  is padded with nullptr (clean lanes).
+     */
+    BatchedFabric(const FabricConfig &config, const Program &program,
+                  const std::vector<PeConfig> &uarchs,
+                  std::vector<FaultInjector *> injectors = {});
+
+    unsigned
+    numLanes() const
+    {
+        return static_cast<unsigned>(lanes_.size());
+    }
+
+    /** Lane fabric access (counters, memory, trace — post-run). */
+    CycleFabric &lane(unsigned l) { return *lanes_.at(l); }
+    const CycleFabric &lane(unsigned l) const { return *lanes_.at(l); }
+
+    /**
+     * Run every lane to completion in lockstep: each round advances
+     * every live lane by one RunCursor iteration (at most one cycle),
+     * parking lanes as they finish. The stop token in @p options is
+     * polled per lane on the scalar cadence, so cancellation parks
+     * lanes exactly where scalar runs would have stopped. Returns one
+     * outcome per lane; lane(l).hangReport() carries the diagnosis.
+     */
+    std::vector<BatchedLaneOutcome> run(const FabricRunOptions &options);
+
+  private:
+    std::vector<std::unique_ptr<CycleFabric>> lanes_;
+    std::vector<FaultInjector *> injectors_;
+    /** SoA lane-done mask, rewritten by each run(). */
+    std::vector<std::uint8_t> done_;
+};
+
+} // namespace tia
+
+#endif // TIA_UARCH_BATCHED_FABRIC_HH

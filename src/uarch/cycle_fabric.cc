@@ -285,57 +285,73 @@ CycleFabric::anyActivity() const
     return false;
 }
 
+CycleFabric::RunCursor::RunCursor(CycleFabric &fabric,
+                                  const FabricRunOptions &options)
+    : fabric_(fabric), options_(options),
+      lastRetired_(fabric.totalRetired_),
+      lastEvents_(fabric.events_.progressEvents()),
+      lastActivity_(fabric.now_), lastProgress_(fabric.now_),
+      // First poll happens immediately: a job cancelled while queued
+      // returns before simulating a single cycle.
+      nextStopCheck_(fabric.now_)
+{
+}
+
+std::optional<RunStatus>
+CycleFabric::RunCursor::advance()
+{
+    CycleFabric &f = fabric_;
+    if (f.now_ >= options_.maxCycles) {
+        f.flushSleepDebt();
+        f.report_ = classifyStepLimit(f.now_ - lastProgress_,
+                                      options_.quiescenceWindow);
+        return f.report_.classification;
+    }
+    if (options_.stop.possible() && f.now_ >= nextStopCheck_) {
+        if (const char *why = options_.stop.why()) {
+            f.flushSleepDebt();
+            f.report_ = HangReport{};
+            f.report_.classification = RunStatus::Cancelled;
+            f.report_.summary = std::string("cancelled (") + why +
+                                ") after " + std::to_string(f.now_) +
+                                " cycle(s)";
+            return RunStatus::Cancelled;
+        }
+        nextStopCheck_ = f.now_ + options_.stopCheckInterval;
+    }
+    if (f.haltedPes_ == f.pes_.size()) {
+        f.report_ = HangReport{};
+        f.report_.classification = RunStatus::Halted;
+        f.report_.summary = "halted: every PE retired a halt";
+        f.flushSleepDebt();
+        return RunStatus::Halted;
+    }
+
+    f.step();
+
+    if (f.events_.progressEvents() != lastEvents_) {
+        lastEvents_ = f.events_.progressEvents();
+        lastProgress_ = f.now_;
+    }
+    if (f.totalRetired_ != lastRetired_ || f.anyActivity()) {
+        lastRetired_ = f.totalRetired_;
+        lastActivity_ = f.now_;
+    } else if (f.now_ - lastActivity_ >= options_.quiescenceWindow) {
+        f.flushSleepDebt();
+        f.report_ = f.diagnoseQuiescence();
+        return f.report_.classification;
+    }
+    return std::nullopt;
+}
+
 RunStatus
 CycleFabric::run(const FabricRunOptions &options)
 {
-    std::uint64_t last_retired = totalRetired_;
-    std::uint64_t last_events = events_.progressEvents();
-    Cycle last_activity = now_;
-    Cycle last_progress = now_;
-    // First poll happens immediately: a job cancelled while queued
-    // returns before simulating a single cycle.
-    Cycle next_stop_check = now_;
-
-    while (now_ < options.maxCycles) {
-        if (options.stop.possible() && now_ >= next_stop_check) {
-            if (const char *why = options.stop.why()) {
-                flushSleepDebt();
-                report_ = HangReport{};
-                report_.classification = RunStatus::Cancelled;
-                report_.summary = std::string("cancelled (") + why +
-                                  ") after " + std::to_string(now_) +
-                                  " cycle(s)";
-                return RunStatus::Cancelled;
-            }
-            next_stop_check = now_ + options.stopCheckInterval;
-        }
-        if (haltedPes_ == pes_.size()) {
-            report_ = HangReport{};
-            report_.classification = RunStatus::Halted;
-            report_.summary = "halted: every PE retired a halt";
-            flushSleepDebt();
-            return RunStatus::Halted;
-        }
-
-        step();
-
-        if (events_.progressEvents() != last_events) {
-            last_events = events_.progressEvents();
-            last_progress = now_;
-        }
-        if (totalRetired_ != last_retired || anyActivity()) {
-            last_retired = totalRetired_;
-            last_activity = now_;
-        } else if (now_ - last_activity >= options.quiescenceWindow) {
-            flushSleepDebt();
-            report_ = diagnoseQuiescence();
-            return report_.classification;
-        }
+    RunCursor cursor(*this, options);
+    for (;;) {
+        if (const auto status = cursor.advance())
+            return *status;
     }
-    flushSleepDebt();
-    report_ = classifyStepLimit(now_ - last_progress,
-                                options.quiescenceWindow);
-    return report_.classification;
 }
 
 namespace {

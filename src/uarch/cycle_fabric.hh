@@ -38,6 +38,7 @@
 #define TIA_UARCH_CYCLE_FABRIC_HH
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/program.hh"
@@ -113,6 +114,39 @@ class CycleFabric
      * Livelock. hangReport() carries the full diagnosis.
      */
     RunStatus run(const FabricRunOptions &options);
+
+    /**
+     * Resumable form of the run() control loop: each advance() call
+     * performs exactly one loop iteration (budget check, stop poll,
+     * all-halted check, step, progress/quiescence accounting) and
+     * reports the final status once the run ends. run() is a plain
+     * loop over advance(); BatchedFabric (batched_fabric.hh)
+     * interleaves advance() across lanes so a batched lane executes
+     * this exact code path — bit-identity with the scalar path is
+     * structural, not re-proved per change.
+     */
+    class RunCursor
+    {
+      public:
+        RunCursor(CycleFabric &fabric, const FabricRunOptions &options);
+
+        /**
+         * One loop iteration. Returns the run's final status once the
+         * fabric halts, is cancelled, goes quiescent or exhausts its
+         * cycle budget (hangReport() carries the diagnosis), nullopt
+         * while the run is still in flight.
+         */
+        std::optional<RunStatus> advance();
+
+      private:
+        CycleFabric &fabric_;
+        FabricRunOptions options_;
+        std::uint64_t lastRetired_;
+        std::uint64_t lastEvents_;
+        Cycle lastActivity_;
+        Cycle lastProgress_;
+        Cycle nextStopCheck_;
+    };
 
     /** Convenience overload with the historical signature. */
     RunStatus

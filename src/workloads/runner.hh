@@ -95,7 +95,40 @@ struct CycleRunOptions
     StopToken stop;
     /** Cycles between stop-token polls when @ref stop is attached. */
     Cycle stopCheckInterval = 4096;
+    /**
+     * Batched lockstep width for the matrix runners (0 or 1 = scalar).
+     * runCycleMatrixStreamed groups the config axis into batches of
+     * this many lanes and advances each batch in lockstep through one
+     * BatchedFabric per (group, workload) task (docs/batched_sim.md).
+     * Results, cache digests and emitted JSON stay bit-identical to
+     * scalar; like the stop fields, not part of the cache key.
+     * Ignored when @ref trace is set — tracing is per-fabric.
+     */
+    std::size_t batch = 0;
 };
+
+/**
+ * Host-side accounting for the batched lockstep path (the
+ * tia-metrics/v1 "sweep"."batch" block; see batchStatsJson). Lane
+ * classification is the batch runner's own: hits + misses == lanes
+ * always (without a cache every lane counts as a miss), misses <=
+ * simulated (verify-mode hit lanes re-simulate too), verified <= hits,
+ * cancelled <= simulated.
+ */
+struct BatchStats
+{
+    std::size_t width = 0;     ///< Configured lockstep width (0 = scalar).
+    std::size_t groups = 0;    ///< BatchedFabric executions.
+    std::size_t lanes = 0;     ///< Total lanes across all groups.
+    std::size_t hits = 0;      ///< Lanes satisfied from the SimCache.
+    std::size_t misses = 0;    ///< Lanes that had to simulate.
+    std::size_t simulated = 0; ///< Lanes actually run in a fabric.
+    std::size_t verified = 0;  ///< Hit lanes verified byte-for-byte.
+    std::size_t cancelled = 0; ///< Simulated lanes cut short (uncached).
+};
+
+/** The tia-metrics/v1 "sweep"."batch" object for @p stats. */
+JsonValue batchStatsJson(const BatchStats &stats);
 
 /** Result of one workload execution. */
 struct WorkloadRun
@@ -143,6 +176,30 @@ WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
 WorkloadRun runCycle(const Workload &workload, const PeConfig &uarch,
                      const CycleRunOptions &options);
 
+/** One batched lockstep execution: per-lane runs plus accounting. */
+struct BatchRunResult
+{
+    /** One run per uarch, in the order passed to runCycleBatch. */
+    std::vector<WorkloadRun> runs;
+    /** Accounting for this one group (groups == 1). */
+    BatchStats stats;
+};
+
+/**
+ * Run @p workload against every uarch in @p uarchs in lockstep on a
+ * BatchedFabric, each lane bit-identical to runCycle of that lane
+ * alone (asserted by tests/test_batched_fabric.cc). Cache interaction
+ * matches the scalar path per lane: hit lanes decode without
+ * simulating (in verify-hits mode they re-simulate in the batch and
+ * byte-compare), miss lanes simulate and are stored, cancelled lanes
+ * return Cancelled and leave no cache entry, and undecodable persisted
+ * payloads degrade to a recompute-and-overwrite miss. Tracing is
+ * unsupported here (FatalError); callers keep traced runs scalar.
+ */
+BatchRunResult runCycleBatch(const Workload &workload,
+                             const std::vector<PeConfig> &uarchs,
+                             const CycleRunOptions &options);
+
 /**
  * The uarch x workload batch product behind the Figure 5 CPI stacks,
  * run on a SweepEngine. Cell (c, w) is runCycle(workloads[w],
@@ -158,6 +215,8 @@ struct CycleMatrix
     std::size_t numWorkloads = 0;
     unsigned jobs = 1;   ///< Worker threads used.
     double wallMs = 0.0; ///< Wall-clock time of the whole matrix.
+    /** Batched-path accounting (width == 0 when the run was scalar). */
+    BatchStats batch;
 
     const WorkloadRun &
     run(std::size_t config, std::size_t workload) const

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * The batched lockstep simulation kernel (uarch/batched_fabric.hh,
+ * runCycleBatch, runCycleMatrixStreamed --batch): bit-identity of
+ * every lane against the scalar path across batch widths — clean,
+ * fault-injected and cancelled — plus the per-lane cache semantics
+ * (hits decode, verify-mode hits re-simulate and byte-compare,
+ * cancelled lanes leave no entry) and the BatchStats accounting
+ * identities the tia-metrics/v1 validator enforces.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/run_cache.hh"
+#include "cache/simcache.hh"
+#include "core/logging.hh"
+#include "exec/stop_token.hh"
+#include "obs/reconstruct.hh"
+#include "sim/fault.hh"
+#include "uarch/batched_fabric.hh"
+#include "uarch/config.hh"
+#include "workloads/runner.hh"
+#include "workloads/workload.hh"
+
+namespace {
+
+using namespace tia;
+
+// The Table 3 suite at smoke sizes and every Table 4 shape variant:
+// the full product the paper's Figure 5 sweeps.
+const std::vector<Workload> &
+suite()
+{
+    static const std::vector<Workload> workloads =
+        allWorkloads(WorkloadSizes::small());
+    return workloads;
+}
+
+const std::vector<PeConfig> &
+configs32()
+{
+    static const std::vector<PeConfig> configs = allConfigs();
+    return configs;
+}
+
+void
+expectRunsEqual(const WorkloadRun &scalar, const WorkloadRun &batched,
+                const std::string &what)
+{
+    // WorkloadRun has field-wise operator==; every counter, the hang
+    // verdict and the fault classification must match bit-for-bit.
+    EXPECT_TRUE(scalar == batched) << what;
+}
+
+void
+expectStatsConsistent(const BatchStats &stats, const std::string &what)
+{
+    EXPECT_EQ(stats.hits + stats.misses, stats.lanes) << what;
+    EXPECT_GE(stats.simulated, stats.misses) << what;
+    EXPECT_LE(stats.simulated, stats.lanes) << what;
+    EXPECT_LE(stats.verified, stats.hits) << what;
+    EXPECT_LE(stats.cancelled, stats.simulated) << what;
+}
+
+// ---------------------------------------------------------------------
+// runCycleBatch vs scalar runCycle: the core lockstep bit-identity.
+
+TEST(BatchedFabric, BitIdenticalToScalarAcrossWidths)
+{
+    const auto &workloads = suite();
+    const auto &configs = configs32();
+    ASSERT_EQ(configs.size(), 32u);
+
+    // Scalar reference: one run per (workload, config). Spelled-out
+    // options — a braced {} third argument would select the Cycle
+    // max_cycles overload (zero budget), not CycleRunOptions.
+    const CycleRunOptions options;
+    std::vector<std::vector<WorkloadRun>> scalar(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        for (const PeConfig &config : configs)
+            scalar[w].push_back(runCycle(workloads[w], config, options));
+
+    for (const std::size_t width : {std::size_t{1}, std::size_t{3},
+                                    std::size_t{8}, std::size_t{32}}) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            // runCycleBatch runs one group; slice the config axis the
+            // way the matrix runner would.
+            for (std::size_t lo = 0; lo < configs.size(); lo += width) {
+                const std::size_t hi =
+                    std::min(lo + width, configs.size());
+                const std::vector<PeConfig> group(
+                    configs.begin() + static_cast<std::ptrdiff_t>(lo),
+                    configs.begin() + static_cast<std::ptrdiff_t>(hi));
+                const BatchRunResult batch =
+                    runCycleBatch(workloads[w], group, options);
+                ASSERT_EQ(batch.runs.size(), group.size());
+                expectStatsConsistent(
+                    batch.stats,
+                    "width " + std::to_string(width));
+                EXPECT_EQ(batch.stats.lanes, group.size());
+                // No cache attached: every lane is a simulated miss.
+                EXPECT_EQ(batch.stats.misses, group.size());
+                EXPECT_EQ(batch.stats.simulated, group.size());
+                for (std::size_t l = 0; l < group.size(); ++l) {
+                    expectRunsEqual(
+                        scalar[w][lo + l], batch.runs[l],
+                        workloads[w].name + " / " +
+                            group[l].name() + " width " +
+                            std::to_string(width));
+                }
+            }
+        }
+    }
+}
+
+TEST(BatchedFabric, BitIdenticalToScalarUnderFaultInjection)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "seed=99;drop:ch0@p0.05;corrupt:ch0@p0.02,mask=0x4;"
+        "mispredict:pe0@p0.1");
+    CycleRunOptions options;
+    options.faults = &plan;
+    options.goldenCrossCheck = true;
+
+    const auto &workloads = suite();
+    const auto &configs = configs32();
+
+    bool any_fired = false;
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        std::vector<WorkloadRun> scalar;
+        for (const PeConfig &config : configs)
+            scalar.push_back(runCycle(workloads[w], config, options));
+
+        const BatchRunResult batch =
+            runCycleBatch(workloads[w], configs, options);
+        ASSERT_EQ(batch.runs.size(), configs.size());
+        for (std::size_t l = 0; l < configs.size(); ++l) {
+            expectRunsEqual(scalar[l], batch.runs[l],
+                            workloads[w].name + " / " +
+                                configs[l].name() + " injected");
+            any_fired =
+                any_fired || batch.runs[l].faultStats.totalFired() > 0;
+        }
+    }
+    EXPECT_TRUE(any_fired) << "the plan never fired; the test is vacuous";
+}
+
+// ---------------------------------------------------------------------
+// Cache semantics: per-lane scalar equivalence.
+
+TEST(BatchedFabric, ColdWarmVerifyCacheChain)
+{
+    const Workload workload = suite().front();
+    const auto &configs = configs32();
+
+    SimCache cache;
+    CycleRunOptions options;
+    options.cache = &cache;
+
+    // Cold: every lane misses, simulates and is stored.
+    const BatchRunResult cold = runCycleBatch(workload, configs, options);
+    expectStatsConsistent(cold.stats, "cold");
+    EXPECT_EQ(cold.stats.misses, configs.size());
+    EXPECT_EQ(cold.stats.simulated, configs.size());
+    EXPECT_EQ(cold.stats.verified, 0u);
+    EXPECT_EQ(cache.size(), configs.size());
+
+    // Warm: every lane decodes its hit; nothing simulates.
+    const BatchRunResult warm = runCycleBatch(workload, configs, options);
+    expectStatsConsistent(warm.stats, "warm");
+    EXPECT_EQ(warm.stats.hits, configs.size());
+    EXPECT_EQ(warm.stats.simulated, 0u);
+    for (std::size_t l = 0; l < configs.size(); ++l)
+        expectRunsEqual(cold.runs[l], warm.runs[l],
+                        "warm lane " + std::to_string(l));
+
+    // Verify mode: every hit lane re-simulates in the batch and
+    // byte-compares against its cached payload.
+    cache.setVerifyHits(true);
+    const BatchRunResult verify =
+        runCycleBatch(workload, configs, options);
+    expectStatsConsistent(verify.stats, "verify");
+    EXPECT_EQ(verify.stats.hits, configs.size());
+    EXPECT_EQ(verify.stats.simulated, configs.size());
+    EXPECT_EQ(verify.stats.verified, configs.size());
+    EXPECT_EQ(cache.stats().verifiedHits, configs.size());
+    for (std::size_t l = 0; l < configs.size(); ++l)
+        expectRunsEqual(cold.runs[l], verify.runs[l],
+                        "verified lane " + std::to_string(l));
+
+    // The batched path writes the same per-config digests the scalar
+    // path reads: a scalar run on the batched-written cache hits.
+    cache.setVerifyHits(false);
+    const std::size_t hits_before = cache.stats().hits;
+    const WorkloadRun scalar =
+        runCycle(workload, configs.front(), options);
+    EXPECT_EQ(cache.stats().hits, hits_before + 1)
+        << "scalar lookup missed a batched-written entry";
+    expectRunsEqual(scalar, cold.runs.front(), "scalar on batched cache");
+}
+
+TEST(BatchedFabric, PreFiredStopCancelsEveryLaneAndCachesNothing)
+{
+    const Workload workload = suite().front();
+    const auto &configs = configs32();
+
+    SimCache cache;
+    StopSource stop;
+    stop.requestStop();
+    CycleRunOptions options;
+    options.cache = &cache;
+    options.stop = stop.token();
+
+    const BatchRunResult batch =
+        runCycleBatch(workload, configs, options);
+    expectStatsConsistent(batch.stats, "pre-fired stop");
+    EXPECT_EQ(batch.stats.cancelled, configs.size());
+    for (const WorkloadRun &run : batch.runs)
+        EXPECT_EQ(run.status, RunStatus::Cancelled);
+    // A parked lane leaves no cache entry.
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BatchedFabric, MidSweepCancellationMatchesCacheResidency)
+{
+    // jobs = 1 makes the schedule deterministic: the sink fires the
+    // caller's stop source as soon as the first group lands, so later
+    // groups' lanes return Cancelled at their first stop poll. The
+    // invariant under test: a cell is Cancelled exactly when its
+    // workloadRunKey is absent from the cache.
+    const auto &workloads = suite();
+    const auto &configs = configs32();
+
+    SimCache cache;
+    StopSource stop;
+    CycleRunOptions options;
+    options.cache = &cache;
+    options.stop = stop.token();
+    options.batch = 8;
+
+    const CycleMatrix matrix = runCycleMatrixStreamed(
+        workloads, configs, options, 1,
+        [&](std::size_t, std::size_t, const WorkloadRun &) {
+            stop.requestStop();
+        });
+
+    ASSERT_EQ(matrix.runs.size(), workloads.size() * configs.size());
+    EXPECT_EQ(matrix.batch.width, 8u);
+    expectStatsConsistent(matrix.batch, "mid-sweep cancel");
+    EXPECT_GT(matrix.batch.cancelled, 0u)
+        << "nothing was cancelled; the test is vacuous";
+    std::size_t cached_cells = 0;
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const WorkloadRun &run = matrix.run(c, w);
+            CycleRunOptions key_options;
+            const bool resident =
+                cache
+                    .peek(workloadRunKey(workloads[w], configs[c],
+                                         key_options))
+                    .has_value();
+            if (run.status == RunStatus::Cancelled) {
+                EXPECT_FALSE(resident)
+                    << "cancelled cell (" << c << ", " << w
+                    << ") left a cache entry";
+            } else {
+                EXPECT_TRUE(resident)
+                    << "completed cell (" << c << ", " << w
+                    << ") was not cached";
+                ++cached_cells;
+            }
+        }
+    }
+    EXPECT_EQ(cache.size(), cached_cells);
+}
+
+// ---------------------------------------------------------------------
+// The batched matrix runner: dispatch, sink order, accounting.
+
+TEST(BatchedFabric, MatrixBatchedBitIdenticalToScalarWithOrderedSink)
+{
+    const auto &workloads = suite();
+    const auto &configs = configs32();
+
+    const CycleMatrix scalar = runCycleMatrixStreamed(
+        workloads, configs, {}, 1, CycleMatrixSink{});
+    EXPECT_EQ(scalar.batch.width, 0u) << "scalar run reported batching";
+
+    for (const std::size_t width : {std::size_t{3}, std::size_t{8}}) {
+        CycleRunOptions options;
+        options.batch = width;
+        std::size_t expect = 0;
+        const CycleMatrix batched = runCycleMatrixStreamed(
+            workloads, configs, options, 2,
+            [&](std::size_t c, std::size_t w, const WorkloadRun &run) {
+                // Row-major in-order delivery survives the group
+                // transpose, and the sink sees the retained run.
+                EXPECT_EQ(c * workloads.size() + w, expect);
+                ++expect;
+                EXPECT_TRUE(run == scalar.run(c, w));
+            });
+        EXPECT_EQ(expect, scalar.runs.size());
+        ASSERT_EQ(batched.runs.size(), scalar.runs.size());
+        for (std::size_t i = 0; i < scalar.runs.size(); ++i)
+            expectRunsEqual(scalar.runs[i], batched.runs[i],
+                            "width " + std::to_string(width) + " cell " +
+                                std::to_string(i));
+        EXPECT_EQ(batched.batch.width, width);
+        EXPECT_EQ(batched.batch.lanes,
+                  workloads.size() * configs.size());
+        EXPECT_EQ(batched.batch.groups,
+                  ((configs.size() + width - 1) / width) *
+                      workloads.size());
+        expectStatsConsistent(batched.batch,
+                              "width " + std::to_string(width));
+    }
+}
+
+TEST(BatchedFabric, TracedRunsStayScalar)
+{
+    // The dispatch guard: a trace sink forces the scalar path even
+    // when --batch is set, and handing a trace to runCycleBatch
+    // directly is a contract violation.
+    const auto &workloads = suite();
+    const auto &configs = configs32();
+
+    CpiReconstructor recon;
+    CycleRunOptions options;
+    options.batch = 8;
+    options.trace = &recon;
+    const CycleMatrix traced = runCycleMatrixStreamed(
+        workloads, configs, options, 1, CycleMatrixSink{});
+    EXPECT_EQ(traced.batch.width, 0u)
+        << "a traced matrix took the batched path";
+
+    EXPECT_THROW(
+        runCycleBatch(workloads.front(), configs, options),
+        FatalError);
+}
+
+// ---------------------------------------------------------------------
+// BatchedFabric proper.
+
+TEST(BatchedFabric, ConstructorValidatesLanes)
+{
+    const Workload workload = suite().front();
+    EXPECT_THROW(BatchedFabric(workload.config, workload.program, {}),
+                 FatalError);
+
+    const std::vector<PeConfig> lanes = {configs32().front()};
+    const std::vector<FaultInjector *> injectors = {nullptr, nullptr};
+    EXPECT_THROW(BatchedFabric(workload.config, workload.program, lanes,
+                               injectors),
+                 FatalError);
+}
+
+} // namespace

@@ -313,6 +313,63 @@ TEST(Observability, ValidatorRejectsBrokenCounters)
     EXPECT_TRUE(integrity) << problems.front();
 }
 
+TEST(Observability, ValidatorAcceptsBatchSweepBlock)
+{
+    BatchStats stats;
+    stats.width = 8;
+    stats.groups = 4;
+    stats.lanes = 32;
+    stats.hits = 12;
+    stats.misses = 20;
+    stats.simulated = 26; // 20 misses + 6 verify-mode re-simulations
+    stats.verified = 6;
+    stats.cancelled = 2;
+    MetricsRegistry registry("test");
+    registry.addRun(JsonValue::parse(
+        R"({"uarch": "TDX", "status": "halted", "cycles": 0,
+            "pes": []})")
+                        .value());
+    JsonValue sweep = JsonValue::object();
+    sweep["batch"] = batchStatsJson(stats);
+    registry.root()["sweep"] = std::move(sweep);
+
+    const auto doc = JsonValue::parse(registry.dump());
+    ASSERT_TRUE(doc.has_value());
+    const auto problems = validateMetricsDocument(*doc);
+    EXPECT_TRUE(problems.empty())
+        << "first problem: " << problems.front();
+}
+
+TEST(Observability, ValidatorRejectsBrokenBatchSweepBlock)
+{
+    // Lanes that are neither hits nor misses violate the batch
+    // runner's classification identity.
+    BatchStats stats;
+    stats.width = 8;
+    stats.groups = 1;
+    stats.lanes = 8;
+    stats.hits = 3;
+    stats.misses = 3;
+    stats.simulated = 3;
+    MetricsRegistry registry("test");
+    registry.addRun(JsonValue::parse(
+        R"({"uarch": "TDX", "status": "halted", "cycles": 0,
+            "pes": []})")
+                        .value());
+    JsonValue sweep = JsonValue::object();
+    sweep["batch"] = batchStatsJson(stats);
+    registry.root()["sweep"] = std::move(sweep);
+
+    const auto doc = JsonValue::parse(registry.dump());
+    ASSERT_TRUE(doc.has_value());
+    const auto problems = validateMetricsDocument(*doc);
+    ASSERT_FALSE(problems.empty());
+    bool identity = false;
+    for (const std::string &problem : problems)
+        identity |= problem.find("hits + misses") != std::string::npos;
+    EXPECT_TRUE(identity) << problems.front();
+}
+
 TEST(Observability, ValidatorRejectsWrongSchema)
 {
     const auto doc = JsonValue::parse(

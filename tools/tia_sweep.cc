@@ -18,6 +18,12 @@
  * Options:
  *   --jobs N     worker threads (default: hardware concurrency;
  *                absurd values are clamped with a warning)
+ *   --batch N    batched lockstep simulation: advance N uarch configs
+ *                of each workload in lockstep per BatchedFabric task
+ *                (docs/batched_sim.md). Output is byte-identical to
+ *                scalar; per-batch stats go to stderr and the
+ *                --metrics "sweep" block. Default off; ignored by
+ *                --flat (the scalar reference barrier).
  *   --small      reduced workload sizes (fast smoke pass)
  *   --configs X  "all" (default), "fig5", or a comma-separated list
  *                of microarchitecture names
@@ -27,10 +33,16 @@
  *   --flat       run on the flat SweepEngine::map barrier instead of
  *                the pipeline (reference implementation; the output
  *                must be byte-identical modulo wall_ms)
- *   --incremental  stream Pareto-frontier updates to stderr during the
- *                DSE and stop enumerating once the frontier has been
- *                stable for --stable-window consecutive design points;
- *                adds incremental/early-exit fields to the "dse" block
+ *   --incremental  overlap the DSE with the CPI matrix: each config's
+ *                design shards are enumerated in the matrix sink as
+ *                soon as its CPI lands (while later rows simulate),
+ *                streaming Pareto-frontier updates to stderr, and the
+ *                enumeration stops once the frontier has been stable
+ *                for --stable-window consecutive design points. The
+ *                "dse" block gains incremental/early-exit fields plus
+ *                "overlapped": true and "dse_phase_ms", the residual
+ *                post-matrix DSE time (the overlap win: wall_ms worth
+ *                of enumeration now hides inside the matrix phase)
  *   --stable-window N  early-exit window for --incremental
  *                (default 500 points; 0 = never exit early)
  *   --out FILE   write the JSON to FILE instead of stdout
@@ -65,6 +77,8 @@
 #include "obs/metrics.hh"
 #include "sim/functional.hh"
 #include "vlsi/dse.hh"
+#include "vlsi/pareto.hh"
+#include "vlsi/timing.hh"
 #include "workloads/cpi.hh"
 #include "workloads/runner.hh"
 
@@ -75,6 +89,7 @@ using namespace tia;
 struct Options
 {
     unsigned jobs = 0; ///< 0 = hardware concurrency.
+    std::size_t batch = 0; ///< Lockstep width (0/1 = scalar).
     bool small = false;
     bool suiteCpi = false;
     bool dse = true;
@@ -153,6 +168,7 @@ run(const Options &opt)
             "without a warm tier)");
     std::optional<SimCache> cache;
     CycleRunOptions run_options;
+    run_options.batch = opt.batch;
     if (!opt.cachePath.empty()) {
         cache.emplace();
         cache->setVerifyHits(opt.cacheVerify);
@@ -175,6 +191,75 @@ run(const Options &opt)
     std::vector<std::string> cpiRows(configs.size());
     std::vector<std::string> cycleRows(configs.size());
     std::vector<std::string> statusRows(configs.size());
+
+    // Overlapped DSE (--incremental on the pipeline): each config's
+    // design shards are enumerated right here in the sink once its
+    // driving CPI lands, so the DSE's compute hides inside the matrix
+    // phase instead of trailing it. Shards run in the same
+    // config-major order as DesignSpace::enumerateStreamed, so the
+    // frontier is identical; the work is speculative and discarded if
+    // any cell fails (no "dse" block is emitted then anyway).
+    const bool overlapDse = opt.dse && !opt.flat && opt.incremental;
+    struct OverlapState
+    {
+        IncrementalPareto pareto;
+        std::size_t sinceChange = 0;
+        std::size_t evaluated = 0;
+        std::size_t shardsCompleted = 0;
+        bool stopped = false;   ///< stableWindow reached.
+        double computeMs = 0.0; ///< Enumeration time inside the sink.
+    } overlap;
+    std::size_t bstIndex = suite.size();
+    for (std::size_t w = 0; w < suite.size(); ++w) {
+        if (suite[w].name == "bst")
+            bstIndex = w;
+    }
+    std::vector<double> rowCpiSum(configs.size(), 0.0);
+    std::vector<std::uint8_t> rowOk(configs.size(), 1);
+    const auto enumerateConfig = [&](const PeConfig &config, double cpi) {
+        if (overlap.stopped)
+            return;
+        const auto start = std::chrono::steady_clock::now();
+        const DesignSpace space(CpiTable{{config.name(), cpi}});
+        for (VtClass vt :
+             {VtClass::Low, VtClass::Standard, VtClass::High}) {
+            for (double vdd : DesignSpace::supplyGrid(vt)) {
+                if (overlap.stopped)
+                    break;
+                const double fmax =
+                    maxFrequencyMhz(config, vdd, vt, space.tech());
+                bool changed = false;
+                for (double f : space.frequencyGridMhz(vt, vdd)) {
+                    if (f > fmax)
+                        break;
+                    if (overlap.pareto.add(
+                            space.evaluate(config, vt, vdd, f))) {
+                        changed = true;
+                        overlap.sinceChange = 0;
+                    } else {
+                        ++overlap.sinceChange;
+                    }
+                    ++overlap.evaluated;
+                }
+                ++overlap.shardsCompleted;
+                if (changed) {
+                    std::fprintf(stderr,
+                                 "tia-sweep: frontier %zu points "
+                                 "after %zu design points\n",
+                                 overlap.pareto.frontier().size(),
+                                 overlap.pareto.pointsSeen());
+                }
+                if (opt.stableWindow != 0 &&
+                    overlap.sinceChange >= opt.stableWindow)
+                    overlap.stopped = true;
+            }
+        }
+        overlap.computeMs +=
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    };
+
     const auto addCell = [&](std::size_t c, std::size_t w,
                              const WorkloadRun &cell) {
         std::string &cpiRow = cpiRows[c];
@@ -194,6 +279,19 @@ run(const Options &opt)
         if (!opt.metricsPath.empty()) {
             registry.addRun(workloadRunMetrics(cell, configs[c],
                                                suite[w].name));
+        }
+        if (!overlapDse)
+            return;
+        rowOk[c] = rowOk[c] && cell.ok();
+        if (opt.suiteCpi) {
+            rowCpiSum[c] += cell.worker.cpi();
+            if (w + 1 == suite.size() && rowOk[c]) {
+                enumerateConfig(configs[c],
+                                rowCpiSum[c] /
+                                    static_cast<double>(suite.size()));
+            }
+        } else if (w == bstIndex && cell.ok()) {
+            enumerateConfig(configs[c], cell.worker.cpi());
         }
     };
 
@@ -279,6 +377,10 @@ run(const Options &opt)
     json += "    ]\n  }";
 
     if (dsePhase) {
+        // Residual post-matrix DSE time: with the overlapped sink this
+        // is table assembly + frontier retrieval only — the
+        // enumeration itself (wall_ms) already ran during the matrix.
+        const auto phase_start = std::chrono::steady_clock::now();
         CpiTable table;
         if (opt.suiteCpi) {
             for (std::size_t c = 0; c < configs.size(); ++c) {
@@ -313,37 +415,40 @@ run(const Options &opt)
                          .count();
             frontier = DesignSpace::paretoFrontier(points);
             evaluated = points.size();
+        } else if (overlapDse) {
+            frontier = overlap.pareto.frontier();
+            dse_ms = overlap.computeMs;
+            evaluated = overlap.evaluated;
+            std::size_t shards_per_config = 0;
+            for (VtClass vt :
+                 {VtClass::Low, VtClass::Standard, VtClass::High})
+                shards_per_config += DesignSpace::supplyGrid(vt).size();
+            const double phase_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - phase_start)
+                    .count();
+            incrementalJson +=
+                "    \"incremental\": true,\n    \"overlapped\": "
+                "true,\n    \"dse_phase_ms\": ";
+            jsonNumber(incrementalJson, phase_ms);
+            incrementalJson +=
+                ",\n    \"stable_window\": " +
+                std::to_string(opt.stableWindow) +
+                ",\n    \"early_exit\": " +
+                (overlap.stopped ? "true" : "false") +
+                ",\n    \"frontier_updates\": " +
+                std::to_string(overlap.pareto.updates()) +
+                ",\n    \"shards_completed\": " +
+                std::to_string(overlap.shardsCompleted) +
+                ",\n    \"shards_total\": " +
+                std::to_string(shards_per_config * configs.size()) +
+                ",\n";
         } else {
-            DseStreamOptions stream_options;
-            if (opt.incremental) {
-                stream_options.stableWindow = opt.stableWindow;
-                stream_options.onFrontierUpdate =
-                    [](std::size_t seen,
-                       const std::vector<DesignPoint> &f) {
-                        std::fprintf(stderr,
-                                     "tia-sweep: frontier %zu points "
-                                     "after %zu design points\n",
-                                     f.size(), seen);
-                    };
-            }
             DseStreamResult stream =
-                dse.enumerateStreamed(jobs, configs, stream_options);
+                dse.enumerateStreamed(jobs, configs, {});
             frontier = std::move(stream.frontier);
             dse_ms = stream.wallMs;
             evaluated = stream.points.size();
-            if (opt.incremental) {
-                incrementalJson +=
-                    "    \"incremental\": true,\n    \"stable_window\": " +
-                    std::to_string(opt.stableWindow) +
-                    ",\n    \"early_exit\": " +
-                    (stream.earlyExit ? "true" : "false") +
-                    ",\n    \"frontier_updates\": " +
-                    std::to_string(stream.frontierUpdates) +
-                    ",\n    \"shards_completed\": " +
-                    std::to_string(stream.shardsCompleted) +
-                    ",\n    \"shards_total\": " +
-                    std::to_string(stream.shardsTotal) + ",\n";
-            }
         }
 
         json += ",\n  \"dse\": {\n";
@@ -397,6 +502,11 @@ run(const Options &opt)
         registry.root()["sizes"] = opt.small ? "small" : "full";
         if (cache)
             registry.root()["cache"] = cache->statsJson();
+        if (matrix.batch.width > 0) {
+            JsonValue sweep = JsonValue::object();
+            sweep["batch"] = batchStatsJson(matrix.batch);
+            registry.root()["sweep"] = std::move(sweep);
+        }
         fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
                 opt.metricsPath);
     }
@@ -414,6 +524,16 @@ run(const Options &opt)
                  "thread(s), CPI matrix %.1f ms\n",
                  configs.size(), suite.size(), matrix.jobs,
                  matrix.wallMs);
+    if (matrix.batch.width > 0) {
+        std::fprintf(stderr,
+                     "tia-sweep: batch width %zu: %zu group(s), %zu "
+                     "lane(s), %zu hit(s), %zu miss(es), %zu "
+                     "simulated, %zu verified, %zu cancelled\n",
+                     matrix.batch.width, matrix.batch.groups,
+                     matrix.batch.lanes, matrix.batch.hits,
+                     matrix.batch.misses, matrix.batch.simulated,
+                     matrix.batch.verified, matrix.batch.cancelled);
+    }
     if (cache)
         std::fprintf(stderr, "tia-sweep: %s\n",
                      cache->statsSummary().c_str());
@@ -435,6 +555,19 @@ main(int argc, char **argv)
             };
             if (arg == "--jobs") {
                 opt.jobs = ThreadPool::parseJobs(next());
+            } else if (arg == "--batch") {
+                const std::string text = next();
+                fatalIf(text.empty(), "--batch wants a non-negative "
+                                      "integer");
+                for (char c : text) {
+                    fatalIf(!std::isdigit(
+                                static_cast<unsigned char>(c)),
+                            "--batch wants a non-negative integer, "
+                            "got \"",
+                            text, "\"");
+                }
+                opt.batch =
+                    static_cast<std::size_t>(std::stoull(text));
             } else if (arg == "--small") {
                 opt.small = true;
             } else if (arg == "--suite-cpi") {
