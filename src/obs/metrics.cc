@@ -79,6 +79,17 @@ sleepMetricsJson(std::uint64_t executed, std::uint64_t skipped)
     return out;
 }
 
+JsonValue
+resolutionMetricsJson(std::uint64_t incrementalSkips,
+                      std::uint64_t fullResolves)
+{
+    JsonValue out = JsonValue::object();
+    out["triggers_resolved"] = incrementalSkips + fullResolves;
+    out["incremental_skips"] = incrementalSkips;
+    out["full_resolves"] = fullResolves;
+    return out;
+}
+
 namespace {
 
 /** Collects validation problems with a location prefix. */
@@ -176,6 +187,39 @@ checkPe(Checker &check, const JsonValue &pe, const std::string &where)
     }
 }
 
+/**
+ * A "resolution" block (run-level or the sweep aggregate). The
+ * identity is the resolution cache's exhaustive partition: every
+ * trigger resolution is either an incremental skip (memoized verdict
+ * still valid) or a full resolve. @p bitplanes additionally requires
+ * the SoA kernel's "bitplane_ops" counter (sweep aggregate only —
+ * host-side, not part of the per-run architectural identity).
+ */
+void
+checkResolution(Checker &check, const JsonValue &resolution,
+                const std::string &where, bool bitplanes)
+{
+    if (!resolution.isObject()) {
+        check.fail(where, "must be an object");
+        return;
+    }
+    double resolved = 0, skips = 0, fulls = 0;
+    bool ok =
+        check.number(resolution, where, "triggers_resolved", resolved);
+    ok &= check.number(resolution, where, "incremental_skips", skips);
+    ok &= check.number(resolution, where, "full_resolves", fulls);
+    if (bitplanes) {
+        double planeOps = 0;
+        check.number(resolution, where, "bitplane_ops", planeOps);
+    }
+    if (ok && skips + fulls != resolved) {
+        check.fail(where, "incremental_skips + full_resolves (" +
+                              std::to_string(skips + fulls) +
+                              ") != triggers_resolved (" +
+                              std::to_string(resolved) + ")");
+    }
+}
+
 void
 checkRun(Checker &check, const JsonValue &run, const std::string &where)
 {
@@ -238,6 +282,9 @@ checkRun(Checker &check, const JsonValue &run, const std::string &where)
                            std::to_string(peCycleSum) + ")");
         }
     }
+
+    if (const JsonValue *resolution = run.find("resolution"))
+        checkResolution(check, *resolution, where + ".resolution", false);
 }
 
 // The optional root "cache" block (SimCache::statsJson). Lookups are
@@ -271,12 +318,15 @@ checkCacheStats(Checker &check, const JsonValue &cache)
         check.fail(where, "verified_hits exceeds hits");
 }
 
-// The optional root "sweep" block, today carrying only the batched
-// lockstep accounting (batchStatsJson). The identities are the batch
-// runner's lane classification: every lane is a hit or a miss (no
-// cache = all misses), every miss simulates (verify-mode hits
-// re-simulate too, so simulated can exceed misses but never lanes),
-// only hit lanes verify, and only simulated lanes can be cancelled.
+// The optional root "sweep" block: the batched lockstep accounting
+// ("batch", batchStatsJson) and/or the trigger-resolution aggregate
+// ("resolution"). The batch identities are the runner's lane
+// classification: every lane is a hit or a miss (no cache = all
+// misses), every miss simulates (verify-mode hits re-simulate too, so
+// simulated can exceed misses but never lanes), only hit lanes verify,
+// and only simulated lanes can be cancelled. A batch block with
+// "auto_disabled" true records a request that fell back to scalar
+// (`--jobs 1`): its width/group counters are legitimately zero.
 void
 checkSweepStats(Checker &check, const JsonValue &sweep)
 {
@@ -285,13 +335,28 @@ checkSweepStats(Checker &check, const JsonValue &sweep)
         check.fail(where, "must be an object");
         return;
     }
-    const JsonValue *batch = check.require(sweep, where, "batch");
+    const JsonValue *batch = sweep.find("batch");
+    const JsonValue *resolution = sweep.find("resolution");
+    if (batch == nullptr && resolution == nullptr) {
+        check.fail(where, "missing both \"batch\" and \"resolution\" "
+                          "(an empty sweep block says nothing)");
+        return;
+    }
+    if (resolution != nullptr)
+        checkResolution(check, *resolution, where + ".resolution", true);
     if (batch == nullptr)
         return;
     const std::string bwhere = where + ".batch";
     if (!batch->isObject()) {
         check.fail(bwhere, "must be an object");
         return;
+    }
+    bool autoDisabled = false;
+    if (const JsonValue *flag = batch->find("auto_disabled")) {
+        if (flag->kind() != JsonValue::Kind::Bool)
+            check.fail(bwhere, "\"auto_disabled\" must be a boolean");
+        else
+            autoDisabled = flag->boolean();
     }
     double width = 0, groups = 0, lanes = 0, hits = 0, misses = 0;
     double simulated = 0, verified = 0, cancelled = 0;
@@ -305,6 +370,13 @@ checkSweepStats(Checker &check, const JsonValue &sweep)
     ok &= check.number(*batch, bwhere, "cancelled", cancelled);
     if (!ok)
         return;
+    if (autoDisabled) {
+        // Scalar fallback: nothing batched, so every counter is zero.
+        if (width != 0 || groups != 0 || lanes != 0)
+            check.fail(bwhere, "auto_disabled batch must report zero "
+                               "width/groups/lanes");
+        return;
+    }
     if (width < 1)
         check.fail(bwhere, "width must be at least 1");
     if (groups < 1)

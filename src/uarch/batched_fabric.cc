@@ -1,6 +1,7 @@
 #include "uarch/batched_fabric.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/logging.hh"
 
@@ -22,6 +23,270 @@ BatchedFabric::BatchedFabric(const FabricConfig &config,
         lanes_.push_back(std::make_unique<CycleFabric>(
             config, program, uarchs[l], injectors_[l]));
     done_.assign(uarchs.size(), 0);
+    soaLane_.assign(uarchs.size(), 0);
+    planeWords_ = (numLanes() + 63) / 64;
+    compileKernels();
+}
+
+void
+BatchedFabric::compileKernels()
+{
+    // Every lane runs the same program, so the compiled descriptors —
+    // and therefore the plane layout and per-descriptor ops — are
+    // lane-invariant; only the gathered status bits differ. Lane 0 is
+    // the template. Microarchitecture differences (+P/+Q, shapes)
+    // change how a lane's status bits are *derived* (inside
+    // refreshResolutionInputs), never the resolution algebra.
+    const unsigned num_pes = lanes_[0]->numPes();
+    kernels_.resize(num_pes);
+    const unsigned W = planeWords_;
+    invalid_.assign(W, 0);
+    undecided_.assign(W, 0);
+    scratch_.assign(3 * W, 0); // conds, fail, pendcare
+    for (unsigned p = 0; p < num_pes; ++p) {
+        PeKernel &k = kernels_[p];
+        const PipelinedPe &pe = lanes_[0]->peRaw(p);
+        const std::vector<TriggerDesc> &descs = pe.triggerDescs();
+
+        // Plane slots: one per watched queue status bit, one tagOk
+        // plane per tag-checked descriptor, pred + pending planes per
+        // referenced predicate bit.
+        std::array<int, 32> in_plane, out_plane;
+        in_plane.fill(-1);
+        out_plane.fill(-1);
+        std::array<int, 64> pred_plane;
+        pred_plane.fill(-1);
+
+        for (std::uint32_t rest = pe.watchedInputs(); rest != 0;
+             rest &= rest - 1) {
+            const unsigned q =
+                static_cast<unsigned>(std::countr_zero(rest));
+            in_plane[q] = static_cast<int>(k.inQueues.size());
+            k.inQueues.push_back(q);
+        }
+        k.outBase = static_cast<unsigned>(k.inQueues.size());
+        for (std::uint32_t rest = pe.watchedOutputs(); rest != 0;
+             rest &= rest - 1) {
+            const unsigned q =
+                static_cast<unsigned>(std::countr_zero(rest));
+            out_plane[q] =
+                static_cast<int>(k.outBase + k.outQueues.size());
+            k.outQueues.push_back(q);
+        }
+        k.tagBase = k.outBase + static_cast<unsigned>(k.outQueues.size());
+        std::uint64_t pred_union = 0;
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+            if (!descs[i].valid)
+                continue;
+            if (descs[i].numChecks > 0)
+                k.tagDescs.push_back(static_cast<unsigned>(i));
+            pred_union |= descs[i].predOn | descs[i].predOff;
+        }
+        k.predBase = k.tagBase + static_cast<unsigned>(k.tagDescs.size());
+        for (std::uint64_t rest = pred_union; rest != 0; rest &= rest - 1) {
+            const unsigned b =
+                static_cast<unsigned>(std::countr_zero(rest));
+            pred_plane[b] =
+                static_cast<int>(k.predBase + k.predBits.size());
+            k.predBits.push_back(b);
+        }
+        k.pendBase = k.predBase + static_cast<unsigned>(k.predBits.size());
+
+        const unsigned num_planes =
+            k.pendBase + static_cast<unsigned>(k.predBits.size());
+        k.planes.assign(static_cast<std::size_t>(num_planes) * W, 0);
+
+        // Compile each valid descriptor to its plane ops.
+        unsigned tag_slot = 0;
+        for (std::size_t i = 0; i < descs.size(); ++i) {
+            const TriggerDesc &desc = descs[i];
+            if (!desc.valid)
+                continue;
+            DescOp op;
+            op.index = static_cast<unsigned>(i);
+            for (std::uint32_t rest = desc.inputNeed; rest != 0;
+                 rest &= rest - 1) {
+                op.condPlanes.push_back(static_cast<unsigned>(
+                    in_plane[std::countr_zero(rest)]));
+            }
+            for (std::uint32_t rest = desc.outputNeed; rest != 0;
+                 rest &= rest - 1) {
+                op.condPlanes.push_back(static_cast<unsigned>(
+                    out_plane[std::countr_zero(rest)]));
+            }
+            if (desc.numChecks > 0)
+                op.condPlanes.push_back(k.tagBase + tag_slot++);
+            for (std::uint64_t rest = desc.predOn; rest != 0;
+                 rest &= rest - 1) {
+                op.onBits.push_back(static_cast<unsigned>(
+                    pred_plane[std::countr_zero(rest)]));
+            }
+            for (std::uint64_t rest = desc.predOff; rest != 0;
+                 rest &= rest - 1) {
+                op.offBits.push_back(static_cast<unsigned>(
+                    pred_plane[std::countr_zero(rest)]));
+            }
+            k.descs.push_back(std::move(op));
+        }
+    }
+}
+
+void
+BatchedFabric::resolveAcrossLanes(const std::vector<unsigned> &stepping)
+{
+    const unsigned W = planeWords_;
+    const unsigned num_pes =
+        static_cast<unsigned>(kernels_.size());
+    std::uint64_t ops = 0;
+    for (unsigned p = 0; p < num_pes; ++p) {
+        PeKernel &k = kernels_[p];
+
+        // Gather: refresh and pack the status bits of every stepping
+        // lane whose memoized verdict for this PE was invalidated.
+        // Lanes with a valid verdict are the incremental-skip case and
+        // are never touched; their stale plane bits are masked out of
+        // the algebra below by the invalid mask.
+        std::fill_n(invalid_.begin(), W, 0);
+        bool any = false;
+        for (const unsigned l : stepping) {
+            if (!soaLane_[l])
+                continue;
+            PipelinedPe &pe = lanes_[l]->peRaw(p);
+            if (pe.halted() || !pe.resolutionCacheArmed() ||
+                pe.resolutionValid()) {
+                continue;
+            }
+            pe.refreshResolutionInputs();
+            const unsigned w = l / 64;
+            const std::uint64_t bit = std::uint64_t{1} << (l % 64);
+            auto put = [&](unsigned plane, bool value) {
+                std::uint64_t &word = k.planes[plane * W + w];
+                word = value ? (word | bit) : (word & ~bit);
+            };
+            const QueueStatusWords &st = pe.statusWords();
+            for (std::size_t s = 0; s < k.inQueues.size(); ++s)
+                put(static_cast<unsigned>(s),
+                    (st.inputReady >> k.inQueues[s]) & 1);
+            for (std::size_t s = 0; s < k.outQueues.size(); ++s)
+                put(k.outBase + static_cast<unsigned>(s),
+                    (st.outputSpace >> k.outQueues[s]) & 1);
+            const std::vector<TriggerDesc> &descs = pe.triggerDescs();
+            for (std::size_t s = 0; s < k.tagDescs.size(); ++s) {
+                const TriggerDesc &desc = descs[k.tagDescs[s]];
+                bool tag_ok = true;
+                for (unsigned c = 0; c < desc.numChecks; ++c) {
+                    const QueueCheck &check = desc.checks[c];
+                    if (((st.inputReady >> check.queue) & 1) == 0) {
+                        tag_ok = false;
+                        break;
+                    }
+                    const bool match =
+                        st.headTag[check.queue] == check.tag;
+                    if (match == check.negate) {
+                        tag_ok = false;
+                        break;
+                    }
+                }
+                put(k.tagBase + static_cast<unsigned>(s), tag_ok);
+            }
+            const std::uint64_t preds = pe.preds();
+            const std::uint64_t pending = pe.pendingPredMask();
+            for (std::size_t s = 0; s < k.predBits.size(); ++s) {
+                put(k.predBase + static_cast<unsigned>(s),
+                    (preds >> k.predBits[s]) & 1);
+                put(k.pendBase + static_cast<unsigned>(s),
+                    (pending >> k.predBits[s]) & 1);
+            }
+            invalid_[w] |= bit;
+            any = true;
+        }
+        if (!any)
+            continue;
+
+        // Resolve: walk the descriptors in priority order, deciding
+        // all gathered lanes per 64-lane word. Exactly schedule()'s
+        // algebra (sim/scheduler.hh), vectorized across lanes:
+        //   conds    = AND of required status planes
+        //   fail     = some required predicate resolved wrong
+        //   pendcare = some required predicate still pending
+        //   fire     = conds & ~fail & ~pendcare
+        //   blocked  = conds & ~fail & pendcare
+        std::copy_n(invalid_.begin(), W, undecided_.begin());
+        std::uint64_t *conds = scratch_.data();
+        std::uint64_t *fail = scratch_.data() + W;
+        std::uint64_t *pendcare = scratch_.data() + 2 * W;
+        auto seed = [&](std::uint64_t word, unsigned w,
+                        ScheduleOutcome outcome, unsigned index) {
+            while (word != 0) {
+                const unsigned l =
+                    w * 64 +
+                    static_cast<unsigned>(std::countr_zero(word));
+                word &= word - 1;
+                lanes_[l]->peRaw(p).seedResolution({outcome, index});
+            }
+        };
+        std::uint64_t live = 0;
+        for (unsigned w = 0; w < W; ++w)
+            live |= undecided_[w];
+        for (const DescOp &op : k.descs) {
+            if (live == 0)
+                break;
+            for (unsigned w = 0; w < W; ++w) {
+                std::uint64_t c = undecided_[w];
+                if (c == 0)
+                    continue;
+                for (const unsigned plane : op.condPlanes)
+                    c &= k.planes[plane * W + w];
+                ops += op.condPlanes.size();
+                conds[w] = c;
+                if (c == 0)
+                    continue;
+                std::uint64_t f = 0, pc = 0;
+                for (const unsigned plane : op.onBits) {
+                    const std::uint64_t pred = k.planes[plane * W + w];
+                    const std::uint64_t pend =
+                        k.planes[(plane + (k.pendBase - k.predBase)) * W +
+                                 w];
+                    f |= ~pred & ~pend;
+                    pc |= pend;
+                }
+                for (const unsigned plane : op.offBits) {
+                    const std::uint64_t pred = k.planes[plane * W + w];
+                    const std::uint64_t pend =
+                        k.planes[(plane + (k.pendBase - k.predBase)) * W +
+                                 w];
+                    f |= pred & ~pend;
+                    pc |= pend;
+                }
+                ops += 2 * (op.onBits.size() + op.offBits.size());
+                fail[w] = f;
+                pendcare[w] = pc;
+            }
+            // Scatter this descriptor's decisions and retire them from
+            // the undecided set.
+            live = 0;
+            for (unsigned w = 0; w < W; ++w) {
+                const std::uint64_t c = conds[w];
+                if (undecided_[w] == 0)
+                    continue;
+                if (c != 0) {
+                    const std::uint64_t eligible = c & ~fail[w];
+                    const std::uint64_t blocked = eligible & pendcare[w];
+                    const std::uint64_t fire = eligible & ~blocked;
+                    ops += 3;
+                    seed(fire, w, ScheduleOutcome::Fire, op.index);
+                    seed(blocked, w, ScheduleOutcome::BlockedOnPredicate,
+                         op.index);
+                    undecided_[w] &= ~eligible;
+                }
+                live |= undecided_[w];
+            }
+        }
+        // Whatever no descriptor decided resolves to None.
+        for (unsigned w = 0; w < W; ++w)
+            seed(undecided_[w], w, ScheduleOutcome::None, 0);
+    }
+    bitplaneOps_ += ops;
 }
 
 std::vector<BatchedLaneOutcome>
@@ -35,32 +300,69 @@ BatchedFabric::run(const FabricRunOptions &options)
 
     std::vector<BatchedLaneOutcome> outcomes(n);
     std::fill(done_.begin(), done_.end(), 0);
+    // Lanes the kernel may seed: clean (their PEs arm the resolution
+    // cache) and resolving through the mask fast path — a lane routed
+    // through the reference scheduler ignores seeded verdicts, so
+    // gathering it would be pure waste.
+    for (unsigned l = 0; l < n; ++l) {
+        soaLane_[l] =
+            injectors_[l] == nullptr && lanes_[l]->numPes() > 0 &&
+            !lanes_[l]->peRaw(0).usesReferenceScheduler();
+    }
     unsigned live = n;
+    std::vector<unsigned> stepping;
+    stepping.reserve(n);
     while (live > 0) {
+        stepping.clear();
         for (unsigned l = 0; l < n; ++l) {
             if (done_[l])
                 continue;
-            if (injectors_[l] == nullptr) {
-                if (const auto status = cursors[l].advance()) {
-                    outcomes[l].status = *status;
+            if (injectors_[l] != nullptr) {
+                // Mirrors the scalar harness: corrupted tokens on an
+                // injected lane can escalate to architectural traps —
+                // a reportable per-lane outcome, not a batch failure.
+                // Injected lanes keep the fused scalar advance.
+                try {
+                    if (const auto status = cursors[l].advance()) {
+                        outcomes[l].status = *status;
+                        done_[l] = 1;
+                        --live;
+                    }
+                } catch (const FatalError &error) {
+                    outcomes[l].status = RunStatus::StepLimit;
+                    outcomes[l].trapped = true;
+                    outcomes[l].trapMessage = error.what();
                     done_[l] = 1;
                     --live;
                 }
                 continue;
             }
-            // Mirrors the scalar harness: corrupted tokens on an
-            // injected lane can escalate to architectural traps —
-            // a reportable per-lane outcome, not a batch failure.
-            try {
-                if (const auto status = cursors[l].advance()) {
-                    outcomes[l].status = *status;
-                    done_[l] = 1;
-                    --live;
-                }
-            } catch (const FatalError &error) {
-                outcomes[l].status = RunStatus::StepLimit;
-                outcomes[l].trapped = true;
-                outcomes[l].trapMessage = error.what();
+            if (const auto status = cursors[l].beginAdvance()) {
+                outcomes[l].status = *status;
+                done_[l] = 1;
+                --live;
+                continue;
+            }
+            stepping.push_back(l);
+        }
+        if (stepping.empty())
+            continue;
+        // Staged lockstep cycle: every live clean lane finishes its
+        // work pass, the SoA kernel resolves the invalidated triggers
+        // for all of them at once, then every lane issues and closes
+        // the cycle. Per lane this is exactly RunCursor::advance();
+        // lanes are independent, so interleaving the phases across
+        // lanes is unobservable.
+        for (const unsigned l : stepping)
+            lanes_[l]->beginCycleEvents();
+        for (const unsigned l : stepping)
+            lanes_[l]->stepPeWork();
+        resolveAcrossLanes(stepping);
+        for (const unsigned l : stepping) {
+            lanes_[l]->stepPeIssue();
+            lanes_[l]->endCycleEvents();
+            if (const auto status = cursors[l].finishAdvance()) {
+                outcomes[l].status = *status;
                 done_[l] = 1;
                 --live;
             }

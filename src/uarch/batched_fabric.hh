@@ -31,6 +31,20 @@
  * while each advances one cycle — the CPI-matrix sweeps of the
  * paper's own methodology (fig5/fig6) are exactly this shape. See
  * docs/batched_sim.md for when it wins and by how much.
+ *
+ * SoA trigger-resolution kernel: every lane runs the same program, so
+ * the compiled TriggerDescs are identical across lanes and only the
+ * per-lane *status bits* differ. Each round, after every live clean
+ * lane's work pass (CycleFabric staged stepping), the kernel gathers
+ * the scheduler status of lanes whose memoized verdict was
+ * invalidated into lane-major bitplanes — one uint64_t word per
+ * (queue, status-bit) covering 64 lanes — and resolves each
+ * descriptor's queue and predicate conditions for all gathered lanes
+ * with a handful of word ops, seeding the verdicts back into the PEs'
+ * resolution caches. Lanes whose verdict is still valid are never
+ * touched (dirty-queue incremental re-resolution); fault-injected
+ * lanes keep the plain scalar advance() path (their PEs never arm the
+ * cache). Layout diagram and invariants: docs/batched_sim.md.
  */
 
 #ifndef TIA_UARCH_BATCHED_FABRIC_HH
@@ -99,11 +113,70 @@ class BatchedFabric
      */
     std::vector<BatchedLaneOutcome> run(const FabricRunOptions &options);
 
+    /**
+     * 64-bit plane operations performed by the SoA kernel across all
+     * run() calls (host-side statistic; "bitplane_ops" in metrics).
+     */
+    std::uint64_t bitplaneOps() const { return bitplaneOps_; }
+
   private:
+    /**
+     * One trigger descriptor compiled to plane operations: AND the
+     * input-ready/output-space/tag planes into a candidate mask, then
+     * combine the predicate and pending planes into fail/blocked
+     * masks. Built once per PE from lane 0 (descs are program-derived
+     * and lane-invariant); only valid descriptors appear, in priority
+     * order.
+     */
+    struct DescOp
+    {
+        unsigned index = 0; ///< Instruction-store slot (the verdict index).
+        std::vector<unsigned> condPlanes; ///< Planes to AND (in/out/tag).
+        std::vector<unsigned> onBits;     ///< predOn bit positions.
+        std::vector<unsigned> offBits;    ///< predOff bit positions.
+    };
+
+    /** Per-PE bitplane state (lane-major; W words per plane). */
+    struct PeKernel
+    {
+        std::vector<unsigned> inQueues;  ///< Watched input ports.
+        std::vector<unsigned> outQueues; ///< Watched output ports.
+        /** Descriptor slots with tag checks, one tagOk plane each. */
+        std::vector<unsigned> tagDescs;
+        std::vector<unsigned> predBits;  ///< Union of predOn/predOff bits.
+        std::vector<DescOp> descs;
+        /**
+         * Plane storage, W words per plane, in layout order:
+         * [inReady x inQueues][outSpace x outQueues][tagOk x tagDescs]
+         * [pred x predBits][pending x predBits].
+         */
+        std::vector<std::uint64_t> planes;
+        unsigned outBase = 0, tagBase = 0, predBase = 0, pendBase = 0;
+    };
+
+    /** Compile the per-PE kernels from lane 0 (no-op for 0 lanes/PEs). */
+    void compileKernels();
+
+    /**
+     * Gather invalidated (lane, PE) status into the bitplanes, resolve
+     * every descriptor across lanes, and seed the verdicts back.
+     * @p stepping lists the lanes between stepPeWork and stepPeIssue
+     * this round; only those with @ref soaLane_ set participate.
+     */
+    void resolveAcrossLanes(const std::vector<unsigned> &stepping);
+
     std::vector<std::unique_ptr<CycleFabric>> lanes_;
     std::vector<FaultInjector *> injectors_;
     /** SoA lane-done mask, rewritten by each run(). */
     std::vector<std::uint8_t> done_;
+    /** Lanes the kernel may seed (clean, cache-armed). */
+    std::vector<std::uint8_t> soaLane_;
+    /** Words per plane: ceil(numLanes / 64). */
+    unsigned planeWords_ = 0;
+    std::vector<PeKernel> kernels_; ///< One per PE position.
+    /** Scratch masks (W words each), reused across rounds. */
+    std::vector<std::uint64_t> invalid_, undecided_, scratch_;
+    std::uint64_t bitplaneOps_ = 0;
 };
 
 } // namespace tia

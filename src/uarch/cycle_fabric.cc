@@ -57,26 +57,41 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
         if (injector_)
             pipelined->setFaultInjector(injector_, pe);
 
-        // Wake subscriptions: the channels whose status can turn one of
-        // this PE's triggers eligible. A channel no trigger references
+        // The resolution cache rides on these wake subscriptions; arm
+        // it only when every scheduler-status change is guaranteed to
+        // produce a queue event (fault stuck-status windows are not).
+        pipelined->setResolutionCacheEnabled(injector_ == nullptr);
+
+        // Wake/invalidate subscriptions: the channels whose status can
+        // turn one of this PE's triggers eligible, with the PE-side
+        // port bits so a dirty channel invalidates exactly those bits
+        // of the PE's memoized status. A channel no trigger references
         // never changes the scheduler's verdict.
+        auto subscribe = [&](int ch, std::uint32_t in_bit,
+                             std::uint32_t out_bit) {
+            auto &watchers = channelPes_[ch];
+            // PEs are processed one at a time, so this PE's entry — if
+            // any — is the last one pushed.
+            if (watchers.empty() || watchers.back().pe != pe) {
+                watchers.push_back({pe, 0, 0});
+                peChannels_[pe].push_back(static_cast<unsigned>(ch));
+            }
+            watchers.back().inPorts |= in_bit;
+            watchers.back().outPorts |= out_bit;
+        };
         const std::uint32_t in_mask = pipelined->watchedInputs();
         for (unsigned port = 0; port < config_.params.numInputQueues;
              ++port) {
             const int ch = config_.inputChannel[pe][port];
-            if (ch != kUnbound && (in_mask & (std::uint32_t{1} << port))) {
-                channelPes_[ch].push_back(pe);
-                peChannels_[pe].push_back(ch);
-            }
+            if (ch != kUnbound && (in_mask & (std::uint32_t{1} << port)))
+                subscribe(ch, std::uint32_t{1} << port, 0);
         }
         const std::uint32_t out_mask = pipelined->watchedOutputs();
         for (unsigned port = 0; port < config_.params.numOutputQueues;
              ++port) {
             const int ch = config_.outputChannel[pe][port];
-            if (ch != kUnbound && (out_mask & (std::uint32_t{1} << port))) {
-                channelPes_[ch].push_back(pe);
-                peChannels_[pe].push_back(ch);
-            }
+            if (ch != kUnbound && (out_mask & (std::uint32_t{1} << port)))
+                subscribe(ch, 0, std::uint32_t{1} << port);
         }
 
         pes_.push_back(std::move(pipelined));
@@ -87,6 +102,7 @@ CycleFabric::CycleFabric(const FabricConfig &config, const Program &program,
         activePes_.push_back(pe);
     asleep_.assign(config_.numPes, false);
     sleepSince_.assign(config_.numPes, 0);
+    retiredAtWork_.assign(config_.numPes, 0);
 
     for (const auto &spec : config_.readPorts) {
         readPorts_.push_back(std::make_unique<MemoryReadPort>(
@@ -176,22 +192,38 @@ CycleFabric::setIdleSleepEnabled(bool enabled)
     }
 }
 
-void
-CycleFabric::step()
+[[gnu::always_inline]] inline void
+CycleFabric::beginCycleEventsImpl()
 {
     if (injector_)
         injector_->beginCycle(now_);
 
     // Channels touched last cycle take a fresh occupancy snapshot, and
     // their activity — architecturally visible from this cycle on —
-    // wakes any parked watcher. Untouched channels already satisfy
+    // wakes any parked watcher and marks the bound ports stale in the
+    // watcher's resolution cache. Untouched channels already satisfy
     // snapshotSize() == size() and popsThisCycle() == 0.
     for (unsigned ch : events_.dirtyChannels()) {
         channels_[ch]->beginCycle();
-        for (unsigned pe : channelPes_[ch])
-            wakePe(pe);
+        for (const ChannelWatcher &watcher : channelPes_[ch]) {
+            pes_[watcher.pe]->noteQueuesDirty(watcher.inPorts,
+                                              watcher.outPorts);
+            wakePe(watcher.pe);
+        }
     }
     events_.clearDirty();
+}
+
+void
+CycleFabric::beginCycleEvents()
+{
+    beginCycleEventsImpl();
+}
+
+void
+CycleFabric::step()
+{
+    beginCycleEventsImpl();
 
     // Step the active PEs; retire halted ones and park provably idle
     // ones (swap-remove — order within a cycle is unobservable because
@@ -226,6 +258,52 @@ CycleFabric::step()
         ++i;
     }
 
+    endCycleEventsImpl();
+}
+
+void
+CycleFabric::stepPeWork()
+{
+    for (const unsigned index : activePes_) {
+        retiredAtWork_[index] = pes_[index]->counters().retired;
+        pes_[index]->stepWork();
+    }
+}
+
+void
+CycleFabric::stepPeIssue()
+{
+    // Same bookkeeping as the fused loop in step(), with the retired
+    // delta spanning both halves (a writeback can retire in either).
+    activeBusyPes_ = 0;
+    for (std::size_t i = 0; i < activePes_.size();) {
+        const unsigned index = activePes_[i];
+        PipelinedPe &pe = *pes_[index];
+        pe.stepIssue();
+        totalRetired_ += pe.counters().retired - retiredAtWork_[index];
+        ++stepsExecuted_;
+        sleepSince_[index] = now_;
+        if (pe.halted()) {
+            ++haltedPes_;
+            activePes_[i] = activePes_.back();
+            activePes_.pop_back();
+            continue;
+        }
+        if (sleepEnabled_ && pe.canSleep()) {
+            parkCandidates_.push_back(index);
+            activePes_[i] = activePes_.back();
+            activePes_.pop_back();
+            continue;
+        }
+        if (pe.busy())
+            ++activeBusyPes_;
+        ++i;
+    }
+}
+
+[[gnu::always_inline]] inline void
+CycleFabric::endCycleEventsImpl()
+{
     for (auto &port : readPorts_)
         port->step(now_);
     for (auto &port : writePorts_)
@@ -267,6 +345,12 @@ CycleFabric::step()
     ++now_;
 }
 
+void
+CycleFabric::endCycleEvents()
+{
+    endCycleEventsImpl();
+}
+
 bool
 CycleFabric::anyActivity() const
 {
@@ -298,7 +382,7 @@ CycleFabric::RunCursor::RunCursor(CycleFabric &fabric,
 }
 
 std::optional<RunStatus>
-CycleFabric::RunCursor::advance()
+CycleFabric::RunCursor::beginAdvance()
 {
     CycleFabric &f = fabric_;
     if (f.now_ >= options_.maxCycles) {
@@ -326,9 +410,13 @@ CycleFabric::RunCursor::advance()
         f.flushSleepDebt();
         return RunStatus::Halted;
     }
+    return std::nullopt;
+}
 
-    f.step();
-
+std::optional<RunStatus>
+CycleFabric::RunCursor::finishAdvance()
+{
+    CycleFabric &f = fabric_;
     if (f.events_.progressEvents() != lastEvents_) {
         lastEvents_ = f.events_.progressEvents();
         lastProgress_ = f.now_;

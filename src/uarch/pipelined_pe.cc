@@ -88,6 +88,38 @@ PipelinedPe::PipelinedPe(const ArchParams &params, const PeConfig &config,
         usedInputs_ |= desc.inputNeed;
         usedOutputs_ |= desc.outputNeed;
     }
+
+    // Resolution-cache dependence maps: which descriptors must be
+    // re-evaluated when a given queue's status bit changes. Every tag
+    // check's queue is already folded into inputNeed by the compiler
+    // (scheduler.hh), so inputNeed/outputNeed are the full queue
+    // dependence sets. The memo masks are single words; stores beyond
+    // 64 slots simply never arm the cache (setResolutionCacheEnabled).
+    inQueueDescs_.assign(params_.numInputQueues, 0);
+    outQueueDescs_.assign(params_.numOutputQueues, 0);
+    if (triggerDescs_.size() <= 64) {
+        for (std::size_t i = 0; i < triggerDescs_.size(); ++i) {
+            const TriggerDesc &desc = triggerDescs_[i];
+            if (!desc.valid)
+                continue;
+            const std::uint64_t bit = std::uint64_t{1} << i;
+            for (std::uint32_t rest = desc.inputNeed; rest != 0;
+                 rest &= rest - 1) {
+                inQueueDescs_[std::countr_zero(rest)] |= bit;
+            }
+            for (std::uint32_t rest = desc.outputNeed; rest != 0;
+                 rest &= rest - 1) {
+                outQueueDescs_[std::countr_zero(rest)] |= bit;
+            }
+            // Seed against the zeroed memo: descriptors with no queue
+            // dependences are constantly queue-eligible and are never
+            // revisited by refreshResolutionInputs.
+            if (queueConditionsHold(desc, statusWords_))
+                queueOkMask_ |= bit;
+        }
+    }
+    dirtyInputs_ = usedInputs_;
+    dirtyOutputs_ = usedOutputs_;
 }
 
 void
@@ -150,11 +182,7 @@ PipelinedPe::setRegs(const std::vector<Word> &values)
 unsigned
 PipelinedPe::inFlight() const
 {
-    unsigned count = 0;
-    for (const auto &slot : slots_)
-        if (slot.has_value())
-            ++count;
-    return count;
+    return static_cast<unsigned>(std::popcount(occupied_));
 }
 
 PeWaitInfo
@@ -295,7 +323,8 @@ PipelinedPe::doDecode(InFlight &entry)
 void
 PipelinedPe::flushSpeculative()
 {
-    for (auto &slot : slots_) {
+    for (unsigned s = 0; s < slots_.size(); ++s) {
+        auto &slot = slots_[s];
         if (!slot.has_value() || !slot->speculative())
             continue;
         const Instruction &inst = *slot->inst;
@@ -305,12 +334,16 @@ PipelinedPe::flushSpeculative()
             panicIf(pendingEnq_[inst.dst.index] == 0,
                     "enqueue accounting underflow on flush");
             --pendingEnq_[inst.dst.index];
+            // The flushed enqueue frees scheduler-visible space.
+            dirtyOutputs_ |= std::uint32_t{1} << inst.dst.index;
+            resolutionValid_ = false;
         }
         ++counters_.quashed;
         if (trace_) [[unlikely]]
             trace(TraceEventKind::Quash, 0,
                   static_cast<std::uint16_t>(slot->index), slot->id);
         slot.reset();
+        occupied_ &= static_cast<std::uint8_t>(~(1u << s));
     }
 }
 
@@ -392,6 +425,7 @@ PipelinedPe::doWriteback(InFlight &entry)
                 // predictions and their contexts — is wrong-path.
                 preds_ = specContexts_.front().fallbackPreds;
                 preds_ = (preds_ & ~bit) | (actual ? bit : 0);
+                resolutionValid_ = false; // predicate state restored
                 flushSpeculative();
                 specContexts_.clear();
                 // The squash also claims this cycle's issue slot: the
@@ -423,6 +457,101 @@ PipelinedPe::doWriteback(InFlight &entry)
 }
 
 void
+PipelinedPe::refreshResolutionInputs()
+{
+    // Re-derive status bits only for queues marked dirty since the
+    // last refresh, then re-evaluate only the descriptors depending on
+    // a queue whose bits were re-derived. Queues outside the watched
+    // sets have no descriptor depending on them.
+    const std::uint32_t in = dirtyInputs_ & usedInputs_;
+    const std::uint32_t out = dirtyOutputs_ & usedOutputs_;
+    if ((in | out) == 0)
+        return;
+    dirtyInputs_ = 0;
+    dirtyOutputs_ = 0;
+
+    std::uint64_t affected = 0;
+    for (std::uint32_t rest = in; rest != 0; rest &= rest - 1) {
+        const unsigned q = static_cast<unsigned>(std::countr_zero(rest));
+        const std::uint32_t bit = std::uint32_t{1} << q;
+        if (schedInputOccupancy(q) == 0) {
+            statusWords_.inputReady &= ~bit;
+        } else {
+            const auto tag = schedInputHeadTag(q);
+            panicIf(!tag.has_value(),
+                    "effectively non-empty queue without a peekable head");
+            statusWords_.inputReady |= bit;
+            statusWords_.headTag[q] = *tag;
+        }
+        affected |= inQueueDescs_[q];
+    }
+    for (std::uint32_t rest = out; rest != 0; rest &= rest - 1) {
+        const unsigned q = static_cast<unsigned>(std::countr_zero(rest));
+        const std::uint32_t bit = std::uint32_t{1} << q;
+        if (schedOutputHasSpace(q))
+            statusWords_.outputSpace |= bit;
+        else
+            statusWords_.outputSpace &= ~bit;
+        affected |= outQueueDescs_[q];
+    }
+    for (std::uint64_t rest = affected; rest != 0; rest &= rest - 1) {
+        const unsigned i = static_cast<unsigned>(std::countr_zero(rest));
+        const std::uint64_t bit = std::uint64_t{1} << i;
+        if (queueConditionsHold(triggerDescs_[i], statusWords_))
+            queueOkMask_ |= bit;
+        else
+            queueOkMask_ &= ~bit;
+    }
+}
+
+[[gnu::always_inline]] inline ScheduleResult
+PipelinedPe::resolveTriggers()
+{
+    if (referenceScheduler_) [[unlikely]] {
+        ++resolution_.fullResolves;
+        return scheduleReference();
+    }
+    if (resolutionValid_) {
+        // A kernel-seeded verdict's first consumption accounts as the
+        // full resolve the scalar path would have performed here; a
+        // seeded *fire* verdict is consumed exactly once (mirroring
+        // the no-fire caching policy below).
+        if (resolutionSeededFull_) [[unlikely]] {
+            resolutionSeededFull_ = false;
+            ++resolution_.fullResolves;
+            if (cachedResolution_.outcome == ScheduleOutcome::Fire)
+                resolutionValid_ = false;
+        } else {
+            ++resolution_.incrementalSkips;
+        }
+        return cachedResolution_;
+    }
+    ++resolution_.fullResolves;
+    // Full resolve through stack-local status words, exactly the
+    // pre-cache path: for the handful of queues a PE watches this
+    // recompute beats the per-queue memo walk (the memo's value is
+    // the lane-parallel gather in BatchedFabric, not scalar reuse),
+    // and the result is bit-equal to both by the fast-path pinning
+    // tests. Only wait verdicts (no trigger / blocked on a pending
+    // predicate) are memoized: a fire changes its own resolution
+    // inputs at issue more often than not, so caching it buys a skip
+    // only in the rare self-invariant-fire loop while costing a dead
+    // store on every ordinary fire. With fire verdicts never cached,
+    // every fire comes from a full resolve, and the remaining
+    // invalidation sources are queue events, predicate commits,
+    // speculation repair, and external mutation.
+    const ScheduleResult result = schedule(
+        triggerDescs_, preds_, pendingPredMask_, computeStatusWords());
+    if (resolutionCacheEnabled_ &&
+        result.outcome != ScheduleOutcome::Fire) {
+        cachedResolution_ = result;
+        resolutionValid_ = true;
+        resolutionSeededFull_ = false;
+    }
+    return result;
+}
+
+[[gnu::always_inline]] inline void
 PipelinedPe::issue()
 {
     if (squashIssueThisCycle_) {
@@ -438,7 +567,7 @@ PipelinedPe::issue()
             traceBucket(TraceBucket::NoTrigger);
         return;
     }
-    if (slots_[0].has_value()) {
+    if ((occupied_ & 1u) != 0) {
         // The only stall source in these pipelines is a register
         // dependence holding an instruction in its decode segment.
         ++counters_.dataHazard;
@@ -447,11 +576,7 @@ PipelinedPe::issue()
         return;
     }
 
-    const ScheduleResult result =
-        referenceScheduler_
-            ? scheduleReference()
-            : schedule(triggerDescs_, preds_, pendingPredMask_,
-                       computeStatusWords());
+    const ScheduleResult result = resolveTriggers();
     if (result.outcome == ScheduleOutcome::BlockedOnPredicate) {
         ++counters_.predicateHazard;
         if (trace_) [[unlikely]]
@@ -485,6 +610,7 @@ PipelinedPe::issue()
 
     // Construct in place — slot 0 was checked empty above.
     InFlight &entry = slots_[0].emplace();
+    occupied_ |= 1u;
     entry.inst = &inst;
     entry.index = result.index;
     entry.id = nextId_++;
@@ -524,12 +650,31 @@ PipelinedPe::issue()
         }
     }
 
-    for (auto q : inst.dequeues)
+    std::uint32_t dirty_in = 0;
+    for (auto q : inst.dequeues) {
         ++pendingDeq_[q];
-    if (inst.enqueues())
+        dirty_in |= std::uint32_t{1} << q;
+    }
+    std::uint32_t dirty_out = 0;
+    if (inst.enqueues()) {
         ++pendingEnq_[inst.dst.index];
+        dirty_out = std::uint32_t{1} << inst.dst.index;
+    }
     if (opInfo(inst.op).isHalt)
         haltIssued_ = true;
+
+    // No cached verdict can survive a fire: fires only come from full
+    // resolves (fire verdicts are never cached, and a cached wait
+    // verdict cannot fire), so resolutionValid_ is already false here.
+    // The pending dequeue/enqueue accounting above did change this
+    // PE's scheduler view of those ports, though — mark them stale for
+    // the batched kernel's memo gather, which is the only consumer of
+    // the per-queue dirty masks. The pop and push performed later in
+    // decode/writeback preserve this cycle's view by the
+    // pending-accounting symmetry (the channel event re-dirties the
+    // port for the next cycle).
+    dirtyInputs_ |= dirty_in;
+    dirtyOutputs_ |= dirty_out;
 
     // Segment-0 work happens in the issue cycle.
     if (segD() == 0) {
@@ -541,28 +686,45 @@ PipelinedPe::issue()
         doWriteback(*slots_[0]);
 }
 
-void
-PipelinedPe::step()
+// The two step halves live in always-inline impls so the fused
+// scalar step() compiles to the same single-body loop it was before
+// the split, while the exported stepWork()/stepIssue() pair keeps the
+// staged entry points the batched SoA kernel needs.
+[[gnu::always_inline]] inline void
+PipelinedPe::stepWorkImpl()
 {
-    if (halted_)
-        return;
     ++counters_.cycles;
     idleCycle_ = false;
 
     // (a) Work pass, oldest first so forwarding sees this cycle's
-    // writebacks.
-    for (int s = static_cast<int>(lastSeg()); s >= 0; --s) {
-        auto &slot = slots_[s];
-        if (!slot.has_value())
-            continue;
-        if (static_cast<unsigned>(s) == segD() && !slot->didD) {
-            if (!dataHazardFor(*slot->inst, slot->id))
-                doDecode(*slot);
-        }
-        if (static_cast<unsigned>(s) == lastSeg() && slot->didD)
-            doWriteback(*slot);
+    // writebacks. Only the decode and writeback segments ever have
+    // per-cycle work, so visit exactly those two (one, when fused)
+    // instead of scanning every slot.
+    const unsigned d = segD();
+    const unsigned last = lastSeg();
+    if ((occupied_ >> last) & 1u) {
+        InFlight &slot = *slots_[last];
+        if (last == d && !slot.didD && !dataHazardFor(*slot.inst, slot.id))
+            doDecode(slot);
+        if (slot.didD)
+            doWriteback(slot);
     }
+    if (d != last && ((occupied_ >> d) & 1u) != 0) {
+        InFlight &slot = *slots_[d];
+        if (!slot.didD && !dataHazardFor(*slot.inst, slot.id))
+            doDecode(slot);
+    }
+}
 
+void
+PipelinedPe::stepWork()
+{
+    stepWorkImpl();
+}
+
+[[gnu::always_inline]] inline void
+PipelinedPe::stepIssueImpl()
+{
     // (b) Trigger phase: issue (or attribute the lost cycle).
     issue();
 
@@ -580,18 +742,26 @@ PipelinedPe::step()
 
     // (c) Advance. Retire writeback-complete instructions, then move
     // everything whose segment work is done and whose next slot is
-    // free.
-    if (slots_[lastSeg()].has_value() && slots_[lastSeg()]->didD)
-        slots_[lastSeg()].reset();
-    for (int s = static_cast<int>(lastSeg()) - 1; s >= 0; --s) {
+    // free — walking only the occupied slots, oldest first.
+    const unsigned last = lastSeg();
+    const std::uint8_t last_bit = static_cast<std::uint8_t>(1u << last);
+    if ((occupied_ & last_bit) != 0 && slots_[last]->didD) {
+        slots_[last].reset();
+        occupied_ &= static_cast<std::uint8_t>(~last_bit);
+    }
+    for (std::uint8_t rest =
+             occupied_ & static_cast<std::uint8_t>(last_bit - 1u);
+         rest != 0;) {
+        const unsigned s = static_cast<unsigned>(std::bit_width(rest)) - 1;
+        const std::uint8_t bit = static_cast<std::uint8_t>(1u << s);
+        rest &= static_cast<std::uint8_t>(~bit);
         auto &slot = slots_[s];
-        if (!slot.has_value())
-            continue;
-        const bool work_done =
-            static_cast<unsigned>(s) != segD() || slot->didD;
-        if (work_done && !slots_[s + 1].has_value()) {
+        const bool work_done = s != segD() || slot->didD;
+        if (work_done && (occupied_ & (bit << 1)) == 0) {
             slots_[s + 1] = *slot;
             slot.reset();
+            occupied_ = static_cast<std::uint8_t>(
+                (occupied_ | (bit << 1)) & ~bit);
         }
     }
 
@@ -605,8 +775,26 @@ PipelinedPe::step()
         if (--pendingPredWrites_[pendingPredCommit_->index] == 0)
             pendingPredMask_ &= ~bit;
         pendingPredCommit_.reset();
+        // Both the predicate value and the pending mask may have
+        // changed under the memoized verdict.
+        resolutionValid_ = false;
     }
     squashIssueThisCycle_ = false;
+}
+
+void
+PipelinedPe::stepIssue()
+{
+    stepIssueImpl();
+}
+
+void
+PipelinedPe::step()
+{
+    if (halted_)
+        return;
+    stepWorkImpl();
+    stepIssueImpl();
 }
 
 } // namespace tia

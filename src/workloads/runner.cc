@@ -1,6 +1,8 @@
 #include "workloads/runner.hh"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdio>
 #include <memory>
 #include <optional>
 
@@ -152,6 +154,9 @@ collectRun(CycleFabric &fabric, const Workload &workload,
     const FabricStepStats steps = fabric.stepStats();
     run.peStepsExecuted = steps.peStepsExecuted;
     run.peStepsSkipped = steps.peStepsSkipped;
+    const ResolutionStats resolution = fabric.resolutionStats();
+    run.resolutionSkips = resolution.incrementalSkips;
+    run.resolutionFulls = resolution.fullResolves;
     for (unsigned pe = 0; pe < fabric.numPes(); ++pe)
         run.dynamicInstructions.push_back(
             fabric.pe(pe).counters().retired);
@@ -324,6 +329,7 @@ runCycleBatch(const Workload &workload,
                                           options.stopCheckInterval};
     const std::vector<BatchedLaneOutcome> outcomes =
         batch.run(fabric_options);
+    stats.bitplaneOps = batch.bitplaneOps();
 
     for (std::size_t b = 0; b < sim_lanes.size(); ++b) {
         const std::size_t l = sim_lanes[b];
@@ -357,6 +363,41 @@ runCycleBatch(const Workload &workload,
     return result;
 }
 
+std::size_t
+maxReasonableBatchWidth()
+{
+    // Lanes are whole fabrics: beyond a few hundred the working set
+    // stops fitting anywhere useful and the SoA planes stop paying for
+    // themselves. 1024 lanes = 16 words per plane, far past any sweep
+    // this repo runs (the full config list is 32).
+    return 1024;
+}
+
+std::size_t
+parseBatchWidth(const std::string &text, const char *what)
+{
+    fatalIf(text.empty(), what, " wants a non-negative integer");
+    for (char c : text) {
+        fatalIf(!std::isdigit(static_cast<unsigned char>(c)), what,
+                " wants a non-negative integer, got \"", text, "\"");
+    }
+    const std::size_t limit = maxReasonableBatchWidth();
+    std::size_t width = 0;
+    try {
+        width = static_cast<std::size_t>(std::stoull(text));
+    } catch (const std::out_of_range &) {
+        width = limit + 1; // clamp below
+    }
+    if (width > limit) {
+        std::fprintf(stderr,
+                     "warning: %s %s exceeds the sane lockstep width; "
+                     "clamping to %zu\n",
+                     what, text.c_str(), limit);
+        return limit;
+    }
+    return width;
+}
+
 JsonValue
 batchStatsJson(const BatchStats &stats)
 {
@@ -369,6 +410,8 @@ batchStatsJson(const BatchStats &stats)
     batch["simulated"] = static_cast<std::uint64_t>(stats.simulated);
     batch["verified"] = static_cast<std::uint64_t>(stats.verified);
     batch["cancelled"] = static_cast<std::uint64_t>(stats.cancelled);
+    batch["bitplane_ops"] = stats.bitplaneOps;
+    batch["auto_disabled"] = stats.autoDisabled;
     return batch;
 }
 
@@ -393,6 +436,9 @@ workloadRunMetrics(const WorkloadRun &run, const PeConfig &uarch,
 
     entry["sleep"] =
         sleepMetricsJson(run.peStepsExecuted, run.peStepsSkipped);
+
+    entry["resolution"] = resolutionMetricsJson(run.resolutionSkips,
+                                                run.resolutionFulls);
 
     JsonValue pes = JsonValue::array();
     pes.push(peMetricsJson(run.workerPe, run.worker, run.workerInFlight));
@@ -493,6 +539,7 @@ runCycleMatrixBatched(const std::vector<Workload> &workloads,
             matrix.batch.simulated += batch.stats.simulated;
             matrix.batch.verified += batch.stats.verified;
             matrix.batch.cancelled += batch.stats.cancelled;
+            matrix.batch.bitplaneOps += batch.stats.bitplaneOps;
             pending[w] = std::move(batch.runs);
             if (w + 1 < num_workloads)
                 return;

@@ -125,10 +125,33 @@ struct BatchStats
     std::size_t simulated = 0; ///< Lanes actually run in a fabric.
     std::size_t verified = 0;  ///< Hit lanes verified byte-for-byte.
     std::size_t cancelled = 0; ///< Simulated lanes cut short (uncached).
+    /** 64-bit plane ops performed by the SoA resolution kernel. */
+    std::uint64_t bitplaneOps = 0;
+    /**
+     * True when batching was requested but auto-disabled because the
+     * sweep runs on one worker thread (`--jobs 1`): lockstep lanes
+     * only pay off when groups overlap across workers.
+     */
+    bool autoDisabled = false;
 };
 
 /** The tia-metrics/v1 "sweep"."batch" object for @p stats. */
 JsonValue batchStatsJson(const BatchStats &stats);
+
+/** Hard ceiling parseBatchWidth clamps absurd widths to. */
+std::size_t maxReasonableBatchWidth();
+
+/**
+ * Parse a `--batch` command-line value the way ThreadPool::parseJobs
+ * parses `--jobs`: anything but a plain non-negative integer is a
+ * fatal error (FatalError — tools exit 1), 0 and 1 mean scalar, and a
+ * width beyond maxReasonableBatchWidth() (including values too large
+ * for the integer type) clamps with a stderr warning instead of
+ * silently allocating absurd lane counts. @p what names the flag in
+ * diagnostics.
+ */
+std::size_t parseBatchWidth(const std::string &text,
+                            const char *what = "--batch");
 
 /** Result of one workload execution. */
 struct WorkloadRun
@@ -156,6 +179,17 @@ struct WorkloadRun
     std::uint64_t peStepsExecuted = 0;
     /** Host-side: PE steps elided by the idle sleep list (cycle runs). */
     std::uint64_t peStepsSkipped = 0;
+    /**
+     * Host-side: trigger resolutions satisfied by a still-valid
+     * memoized verdict (dirty-queue incremental re-resolution) vs.
+     * recomputed in full. Skips + fulls covers every resolution the
+     * run performed; a run under the reference scheduler recomputes
+     * everything (skips == 0). Kernel-seeded verdicts count as full
+     * resolves when consumed, so batched lanes match scalar runs
+     * bit-for-bit (tests/test_batched_fabric.cc).
+     */
+    std::uint64_t resolutionSkips = 0;
+    std::uint64_t resolutionFulls = 0;
 
     bool ok() const { return status == RunStatus::Halted &&
                              checkError.empty(); }

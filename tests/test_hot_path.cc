@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <deque>
 #include <random>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -582,6 +583,97 @@ TEST(IdlePeSleep, CountersSettleOnEveryExitPath)
         ASSERT_EQ(fabric.run(), RunStatus::Halted);
         expectBucketIntegrity(fabric, "halted");
     }
+}
+
+// ---------------------------------------------------------------------
+// Incremental trigger resolution: the dirty-queue cache must be
+// invisible next to the QueueStatusView reference scheduler.
+// ---------------------------------------------------------------------
+
+/** One run with the scheduler flavour pinned, plus its resolution
+ *  accounting. Comparisons against the reference scheduler must stay
+ *  field-wise on RunObservation — resolution counters legitimately
+ *  differ between the flavours and are checked by identity instead. */
+std::pair<RunObservation, ResolutionStats>
+observeResolution(const Workload &workload, const PeConfig &uarch,
+                  bool reference)
+{
+    CycleFabric fabric(workload.config, workload.program, uarch);
+    fabric.setUseReferenceScheduler(reference);
+    workload.preload(fabric.memory());
+
+    RunObservation obs;
+    obs.status = fabric.run();
+    obs.cycles = fabric.now();
+    for (unsigned pe = 0; pe < fabric.numPes(); ++pe) {
+        obs.counters.push_back(fabric.pe(pe).counters());
+        obs.regs.push_back(fabric.pe(pe).regs());
+        obs.preds.push_back(fabric.pe(pe).preds());
+    }
+    obs.report = fabric.hangReport();
+    obs.memory = fabric.memory().snapshot();
+    return {obs, fabric.resolutionStats()};
+}
+
+TEST(ResolutionCache, WorkloadSuiteBitIdenticalToReferenceScheduler)
+{
+    const std::vector<Workload> workloads =
+        allWorkloads(WorkloadSizes::small());
+    const std::vector<PeConfig> uarchs = {
+        {allShapes()[0], false, false, false}, // TDX
+        {allShapes()[0], false, true, false},  // TDX +Q
+        {allShapes()[7], true, true, false},   // T|D|X1|X2 +P+Q
+        {allShapes()[7], true, true, true},    // T|D|X1|X2 +P+N+Q
+    };
+    bool any_skip = false;
+    for (const Workload &workload : workloads) {
+        for (const PeConfig &uarch : uarchs) {
+            const auto [fast, fast_res] =
+                observeResolution(workload, uarch, false);
+            const auto [ref, ref_res] =
+                observeResolution(workload, uarch, true);
+            ASSERT_EQ(fast, ref)
+                << workload.name << " / " << uarch.name();
+
+            // The reference scheduler recomputes from scratch every
+            // time; the cached path must do the same total number of
+            // resolutions, split between seeds and skips.
+            EXPECT_EQ(ref_res.incrementalSkips, 0u);
+            EXPECT_EQ(fast_res.incrementalSkips + fast_res.fullResolves,
+                      ref_res.fullResolves)
+                << workload.name << " / " << uarch.name();
+            any_skip = any_skip || fast_res.incrementalSkips > 0;
+        }
+    }
+    EXPECT_TRUE(any_skip)
+        << "the dirty-queue cache never skipped a re-resolution "
+           "anywhere in the suite; the differential is vacuous";
+}
+
+TEST(ResolutionCache, FaultInjectionDisarmsIncrementalPath)
+{
+    // An injector can mutate queue contents behind the dirty
+    // tracking, so its presence must force every resolution full —
+    // and the run must still match an injected reference run.
+    const Workload workload = makeGcd(WorkloadSizes::small());
+    const PeConfig uarch{allShapes()[0], false, true, false};
+    const FaultPlan plan = FaultPlan::parse(
+        "seed=99;drop:ch0@p0.05;corrupt:ch0@p0.02,mask=0x4;"
+        "mispredict:pe0@p0.1");
+
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+    const RunObservation fast = observeRun(workload, uarch, true, &a);
+    const RunObservation ref = observeRun(workload, uarch, false, &b);
+    EXPECT_EQ(fast, ref);
+
+    FaultInjector c(plan);
+    CycleFabric fabric(workload.config, workload.program, uarch, &c);
+    workload.preload(fabric.memory());
+    fabric.run();
+    const ResolutionStats stats = fabric.resolutionStats();
+    EXPECT_EQ(stats.incrementalSkips, 0u);
+    EXPECT_GT(stats.fullResolves, 0u);
 }
 
 TEST(IdlePeSleep, MutatingAccessorWakesParkedPe)

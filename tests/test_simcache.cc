@@ -147,12 +147,12 @@ TEST(GoldenDigest, CanonicalWorkloadUarchPairs)
     EXPECT_EQ(workloadRunKey(makeDotProduct(sizes), PeConfig{},
                              defaults)
                   .hex(),
-              "7a01b496387c0842e07019203e298bfa");
+              "e7d0fbd5aa2ba245b794dcc7284eaa88");
 
     // Deepest pipeline with both optimizations.
     const PeConfig deep{PipelineShape{true, true, true}, true, true};
     EXPECT_EQ(workloadRunKey(makeBst(sizes), deep, defaults).hex(),
-              "0ee44a209625eca83ae11158638d8989");
+              "13794b7ca90b4167b431a9353e772bbf");
 
     // A seeded fault plan folds into the key.
     const FaultPlan plan = FaultPlan::parse("seed=7;drop:ch0@p0.01");
@@ -160,7 +160,7 @@ TEST(GoldenDigest, CanonicalWorkloadUarchPairs)
     injected.faults = &plan;
     injected.goldenCrossCheck = true;
     EXPECT_EQ(workloadRunKey(makeGcd(sizes), PeConfig{}, injected).hex(),
-              "976497fc1d48746cfea4f2f25989abb0");
+              "106e383c45472c8fdcf5a922fd232011");
 }
 
 TEST(GoldenDigest, KeySeparatesEveryInput)

@@ -22,7 +22,11 @@
  *                      BatchedFabric in lockstep (docs/batched_sim.md).
  *                      Reports are bit-identical to the scalar sweep
  *                      (the --stats host-time line uses the lockstep
- *                      group's wall time). Default off.
+ *                      group's wall time). Default off. Junk values
+ *                      are fatal and absurd widths clamp with a
+ *                      warning (parseBatchWidth); --jobs 1 disables
+ *                      batching with a stderr note and an
+ *                      "auto_disabled" flag in --metrics.
  *   --pes N            fabric size (default: as many PEs as the
  *                      program targets)
  *   --connect A.O:B.I  wire PE A output O to PE B input I (repeat)
@@ -106,6 +110,7 @@
 #include "uarch/batched_fabric.hh"
 #include "uarch/cycle_fabric.hh"
 #include "uarch/fabric_metrics.hh"
+#include "workloads/runner.hh" // parseBatchWidth, BatchStats
 
 namespace {
 
@@ -516,6 +521,21 @@ run(const Options &opt)
                         ? 100.0 * static_cast<double>(steps.peStepsSkipped) /
                               static_cast<double>(total)
                         : 0.0);
+            const ResolutionStats resolution = fabric.resolutionStats();
+            const std::uint64_t resolved = resolution.triggersResolved();
+            appendf(text,
+                    "  trigger resolutions: %llu incremental skip(s), "
+                    "%llu full (%.1f%% skipped)\n",
+                    static_cast<unsigned long long>(
+                        resolution.incrementalSkips),
+                    static_cast<unsigned long long>(
+                        resolution.fullResolves),
+                    resolved > 0
+                        ? 100.0 *
+                              static_cast<double>(
+                                  resolution.incrementalSkips) /
+                              static_cast<double>(resolved)
+                        : 0.0);
         }
         if (chrome != nullptr) {
             fatalIf(!chrome->writeTo(opt.tracePath), "cannot write ",
@@ -647,10 +667,24 @@ run(const Options &opt)
     std::vector<std::pair<int, std::string>> results;
     unsigned sweep_jobs = 1;
     double sweep_wall_ms = 0.0;
+    // Lockstep lanes only pay off when groups overlap across worker
+    // threads; an explicit --jobs 1 sweep falls back to scalar with a
+    // note (and an "auto_disabled" flag in the metrics document).
+    bool batch_auto_disabled = false;
+    std::size_t batch = opt.batch;
+    if (batch > 1 && uarchs.size() > 1 && opt.jobs == 1) {
+        std::fprintf(stderr,
+                     "tia-sim: --batch %zu disabled: one worker "
+                     "thread (--jobs 1) gains nothing from lockstep "
+                     "batching; running scalar\n",
+                     batch);
+        batch = 0;
+        batch_auto_disabled = true;
+    }
     // --trace is already rejected for multi-uarch sweeps, so the
     // batched path never has to reconcile a trace sink with lockstep.
-    if (opt.batch > 1 && uarchs.size() > 1) {
-        const std::size_t width = std::min(opt.batch, uarchs.size());
+    if (batch > 1 && uarchs.size() > 1) {
+        const std::size_t width = std::min(batch, uarchs.size());
         const std::size_t groups = (uarchs.size() + width - 1) / width;
         auto runGroup = [&](std::size_t g) {
             const std::size_t lo = g * width;
@@ -795,6 +829,13 @@ run(const Options &opt)
         registry.root()["program"] = opt.program;
         for (auto &entry : metricsRuns)
             registry.addRun(std::move(entry));
+        if (batch_auto_disabled) {
+            BatchStats stats;
+            stats.autoDisabled = true;
+            JsonValue sweep = JsonValue::object();
+            sweep["batch"] = batchStatsJson(stats);
+            registry.root()["sweep"] = std::move(sweep);
+        }
         fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
                 opt.metricsPath);
         std::printf("metrics: %s\n", opt.metricsPath.c_str());
@@ -824,7 +865,7 @@ main(int argc, char **argv)
             } else if (arg == "--jobs") {
                 opt.jobs = ThreadPool::parseJobs(next());
             } else if (arg == "--batch") {
-                opt.batch = std::stoull(next());
+                opt.batch = parseBatchWidth(next());
             } else if (arg == "--connect") {
                 const auto v = numbers(next(), ".:");
                 fatalIf(v.size() != 4, "--connect wants A.O:B.I");

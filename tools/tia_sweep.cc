@@ -23,7 +23,11 @@
  *                (docs/batched_sim.md). Output is byte-identical to
  *                scalar; per-batch stats go to stderr and the
  *                --metrics "sweep" block. Default off; ignored by
- *                --flat (the scalar reference barrier).
+ *                --flat (the scalar reference barrier). Junk values
+ *                are fatal, absurd widths clamp with a warning
+ *                (parseBatchWidth), and one worker thread (--jobs 1)
+ *                auto-disables batching with a stderr note and
+ *                "auto_disabled": true in the metrics batch block.
  *   --small      reduced workload sizes (fast smoke pass)
  *   --configs X  "all" (default), "fig5", or a comma-separated list
  *                of microarchitecture names
@@ -169,6 +173,19 @@ run(const Options &opt)
     std::optional<SimCache> cache;
     CycleRunOptions run_options;
     run_options.batch = opt.batch;
+    // Lockstep lanes only pay off when groups overlap across worker
+    // threads; on a single worker the batch just serializes with
+    // extra bookkeeping, so fall back to scalar and say so.
+    bool batch_auto_disabled = false;
+    if (opt.batch > 1 && jobs == 1) {
+        std::fprintf(stderr,
+                     "tia-sweep: --batch %zu disabled: one worker "
+                     "thread (--jobs 1) gains nothing from lockstep "
+                     "batching; running scalar\n",
+                     opt.batch);
+        run_options.batch = 0;
+        batch_auto_disabled = true;
+    }
     if (!opt.cachePath.empty()) {
         cache.emplace();
         cache->setVerifyHits(opt.cacheVerify);
@@ -502,11 +519,20 @@ run(const Options &opt)
         registry.root()["sizes"] = opt.small ? "small" : "full";
         if (cache)
             registry.root()["cache"] = cache->statsJson();
-        if (matrix.batch.width > 0) {
-            JsonValue sweep = JsonValue::object();
-            sweep["batch"] = batchStatsJson(matrix.batch);
-            registry.root()["sweep"] = std::move(sweep);
+        JsonValue sweep = JsonValue::object();
+        std::uint64_t skips = 0, fulls = 0;
+        for (const WorkloadRun &run : matrix.runs) {
+            skips += run.resolutionSkips;
+            fulls += run.resolutionFulls;
         }
+        JsonValue resolution = resolutionMetricsJson(skips, fulls);
+        resolution["bitplane_ops"] = matrix.batch.bitplaneOps;
+        sweep["resolution"] = std::move(resolution);
+        if (matrix.batch.width > 0 || batch_auto_disabled) {
+            matrix.batch.autoDisabled = batch_auto_disabled;
+            sweep["batch"] = batchStatsJson(matrix.batch);
+        }
+        registry.root()["sweep"] = std::move(sweep);
         fatalIf(!registry.writeTo(opt.metricsPath), "cannot write ",
                 opt.metricsPath);
     }
@@ -528,11 +554,14 @@ run(const Options &opt)
         std::fprintf(stderr,
                      "tia-sweep: batch width %zu: %zu group(s), %zu "
                      "lane(s), %zu hit(s), %zu miss(es), %zu "
-                     "simulated, %zu verified, %zu cancelled\n",
+                     "simulated, %zu verified, %zu cancelled, "
+                     "%llu bitplane op(s)\n",
                      matrix.batch.width, matrix.batch.groups,
                      matrix.batch.lanes, matrix.batch.hits,
                      matrix.batch.misses, matrix.batch.simulated,
-                     matrix.batch.verified, matrix.batch.cancelled);
+                     matrix.batch.verified, matrix.batch.cancelled,
+                     static_cast<unsigned long long>(
+                         matrix.batch.bitplaneOps));
     }
     if (cache)
         std::fprintf(stderr, "tia-sweep: %s\n",
@@ -556,18 +585,7 @@ main(int argc, char **argv)
             if (arg == "--jobs") {
                 opt.jobs = ThreadPool::parseJobs(next());
             } else if (arg == "--batch") {
-                const std::string text = next();
-                fatalIf(text.empty(), "--batch wants a non-negative "
-                                      "integer");
-                for (char c : text) {
-                    fatalIf(!std::isdigit(
-                                static_cast<unsigned char>(c)),
-                            "--batch wants a non-negative integer, "
-                            "got \"",
-                            text, "\"");
-                }
-                opt.batch =
-                    static_cast<std::size_t>(std::stoull(text));
+                opt.batch = parseBatchWidth(next());
             } else if (arg == "--small") {
                 opt.small = true;
             } else if (arg == "--suite-cpi") {
